@@ -1,0 +1,142 @@
+// Command fluxbench regenerates the tables and figures of the Flux paper's
+// evaluation (EuroSys'15, §4) from the simulation.
+//
+// Usage:
+//
+//	fluxbench -all                 # everything, in paper order
+//	fluxbench -table 2             # decorated services
+//	fluxbench -table 3             # app workloads
+//	fluxbench -fig 12              # overall migration times
+//	fluxbench -fig 13              # stage breakdown
+//	fluxbench -fig 14              # user-perceived time excl. transfer
+//	fluxbench -fig 15              # data transferred vs APK size
+//	fluxbench -fig 16              # overhead vs AOSP (wall-clock!)
+//	fluxbench -fig 17              # Play-store install-size CDF
+//	fluxbench -pairing             # pairing cost experiment
+//	fluxbench -failures            # Facebook / Subway Surfers refusals
+//	fluxbench -summary             # headline numbers vs paper
+//	fluxbench -ablations           # design ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flux"
+	"flux/internal/apps"
+	"flux/internal/experiments"
+)
+
+func main() {
+	var (
+		table      = flag.Int("table", 0, "regenerate a table (2 or 3)")
+		fig        = flag.Int("fig", 0, "regenerate a figure (12-17)")
+		pairing    = flag.Bool("pairing", false, "pairing cost experiment")
+		failures   = flag.Bool("failures", false, "expected failures")
+		summary    = flag.Bool("summary", false, "headline summary vs paper")
+		ablations  = flag.Bool("ablations", false, "design ablations")
+		all        = flag.Bool("all", false, "everything, in paper order")
+		benchIters = flag.Int("bench-iters", 2000, "iterations per Figure 16 benchmark")
+		playN      = flag.Int("play-n", 488259, "Figure 17 catalog size")
+	)
+	flag.Parse()
+	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *all, *benchIters, *playN); err != nil {
+		fmt.Fprintln(os.Stderr, "fluxbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, fig int, pairing, failures, summary, ablations, all bool, benchIters, playN int) error {
+	w := os.Stdout
+	if all {
+		return flux.RunEvaluation(w, benchIters, playN)
+	}
+	needMatrix := summary || (fig >= 12 && fig <= 15)
+	var cells []experiments.Cell
+	if needMatrix {
+		var err error
+		if cells, err = experiments.RunMatrix(); err != nil {
+			return err
+		}
+	}
+	ran := false
+	switch table {
+	case 0:
+	case 2:
+		ran = true
+		if err := experiments.Table2(w); err != nil {
+			return err
+		}
+	case 3:
+		ran = true
+		experiments.Table3(w)
+	default:
+		return fmt.Errorf("no table %d in the paper's evaluation", table)
+	}
+	switch fig {
+	case 0:
+	case 12:
+		ran = true
+		experiments.Figure12(w, cells)
+	case 13:
+		ran = true
+		experiments.Figure13(w, cells)
+	case 14:
+		ran = true
+		experiments.Figure14(w, cells)
+	case 15:
+		ran = true
+		experiments.Figure15(w, cells)
+	case 16:
+		ran = true
+		if err := experiments.Figure16(w, benchIters); err != nil {
+			return err
+		}
+	case 17:
+		ran = true
+		experiments.Figure17(w, playN)
+	default:
+		return fmt.Errorf("no figure %d in the paper's evaluation", fig)
+	}
+	if pairing {
+		ran = true
+		if err := experiments.PairingCost(w); err != nil {
+			return err
+		}
+	}
+	if failures {
+		ran = true
+		if err := experiments.Failures(w); err != nil {
+			return err
+		}
+	}
+	if summary {
+		ran = true
+		experiments.Summary(w, cells)
+	}
+	if ablations {
+		ran = true
+		candy := apps.ByPackage("com.king.candycrushsaga")
+		netflix := apps.ByPackage("com.netflix.mediaclient")
+		if err := experiments.AblationSelectiveVsFull(w, *candy); err != nil {
+			return err
+		}
+		if err := experiments.AblationPrep(w, *candy); err != nil {
+			return err
+		}
+		if err := experiments.AblationLinkDest(w); err != nil {
+			return err
+		}
+		if err := experiments.AblationCompression(w, *netflix); err != nil {
+			return err
+		}
+		if err := experiments.AblationPostCopy(w, *candy); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		flag.Usage()
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command fluxtrace runs an evaluation app's workload and dumps its
+// Selective Record call log — the pruned sequence of service calls a
+// migration would replay on the guest device. With -full it also shows
+// what an undecorated full-record baseline would have kept, making the
+// selective pruning visible.
+//
+// Usage:
+//
+//	fluxtrace -app com.king.candycrushsaga
+//	fluxtrace -app com.whatsapp -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flux"
+	"flux/internal/apps"
+	"flux/internal/device"
+	"flux/internal/record"
+)
+
+func main() {
+	var (
+		appPkg = flag.String("app", "com.king.candycrushsaga", "evaluation app to trace")
+		full   = flag.Bool("full", false, "also run the full-record baseline")
+	)
+	flag.Parse()
+	if err := run(*appPkg, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "fluxtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appPkg string, full bool) error {
+	app := flux.AppByPackage(appPkg)
+	if app == nil {
+		return fmt.Errorf("app %s not in the evaluation catalog", appPkg)
+	}
+	entries, observed, err := trace(*app, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — workload: %s\n", app.Spec.Label, app.Workload)
+	fmt.Printf("selective record: %d calls observed on decorated interfaces, %d survive pruning\n\n", observed, len(entries))
+	printLog(entries)
+	if full {
+		fullEntries, _, err := trace(*app, true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nfull-record baseline would keep %d entries (%.1fx the selective log)\n",
+			len(fullEntries), float64(len(fullEntries))/float64(max(1, len(entries))))
+	}
+	return nil
+}
+
+func trace(app flux.App, full bool) ([]*record.Entry, uint64, error) {
+	dev, err := device.New(device.Nexus4("trace"))
+	if err != nil {
+		return nil, 0, err
+	}
+	if full {
+		for _, reg := range dev.System.Catalog() {
+			dev.Recorder.SetFullRecord(reg.Descriptor, true)
+		}
+	}
+	if _, err := apps.Launch(dev, app); err != nil {
+		return nil, 0, err
+	}
+	observed, _ := dev.Recorder.Stats()
+	return dev.Recorder.Log().AppEntries(app.Spec.Package), observed, nil
+}
+
+func printLog(entries []*record.Entry) {
+	fmt.Printf("%4s  %-18s %-28s %-8s %s\n", "SEQ", "SERVICE", "METHOD", "HANDLE", "ARGS")
+	for _, e := range entries {
+		args := "<unparseable>"
+		if p, err := e.Parcel(); err == nil {
+			args = p.String()
+		}
+		fmt.Printf("%4d  %-18s %-28s h#%-6d %s\n", e.Seq, e.Service, e.Method, e.Handle, args)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+// Meeting: the paper's collaboration scenario (§1, use case 4). A document
+// app hops around the table — phone to one tablet to another — each person
+// adding a note. Every hop crosses heterogeneous hardware (different SoCs,
+// GPUs, kernels, screens) and the accumulated state rides along in the CRIA
+// image and the replayed service calls.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"flux"
+)
+
+func main() {
+	alice, err := flux.NewDevice(flux.Nexus4("alice-phone"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := flux.NewDevice(flux.Nexus7v2012("bob-tablet"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	carol, err := flux.NewDevice(flux.Nexus7v2013("carol-tablet"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app := flux.AppByPackage("com.pinterest") // stands in for a shared board app
+	if err := flux.Install(alice, *app); err != nil {
+		log.Fatal(err)
+	}
+	// Pair every pair of devices that will hand the app around.
+	for _, pair := range [][2]*flux.Device{{alice, bob}, {bob, carol}, {carol, alice}} {
+		if _, err := flux.PairDevices(pair[0], pair[1], []string{app.Spec.Package}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	session, err := flux.LaunchApp(alice, *app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session.Save("notes", "alice: agenda item 1")
+
+	hops := []struct {
+		from, to *flux.Device
+		note     string
+	}{
+		{alice, bob, "bob: numbers look right"},
+		{bob, carol, "carol: ship it"},
+		{carol, alice, "alice: action items recorded"},
+	}
+	for _, hop := range hops {
+		rep, err := flux.Migrate(hop.from, hop.to, app.Spec.Package, flux.MigrateOptions{})
+		if err != nil {
+			log.Fatalf("%s → %s: %v", hop.from.Name(), hop.to.Name(), err)
+		}
+		if !rep.StateConsistent() {
+			log.Fatalf("%s → %s: state diverged", hop.from.Name(), hop.to.Name())
+		}
+		notes := rep.App.SavedState()["notes"] + "\n" + hop.note
+		rep.App.PutSavedState("notes", notes)
+		fmt.Printf("%s → %s in %v (UI %s)\n",
+			hop.from.Name(), hop.to.Name(),
+			rep.Timings.UserPerceived().Round(1e6),
+			rep.App.MainActivity().Window().ViewRoot().DrawnFor())
+	}
+
+	final := alice.Runtime.App(app.Spec.Package)
+	fmt.Println("\nshared notes after the full round:")
+	for _, line := range strings.Split(final.SavedState()["notes"], "\n") {
+		fmt.Println("  •", line)
+	}
+}

@@ -1,0 +1,73 @@
+// Movie night: the paper's motivating Netflix scenario. Start browsing on
+// the phone, hand the session to the big tablet for the couch, and when the
+// tablet's battery runs low, hand it back — state (playback position,
+// volume, wakelock) follows the app both ways, adapted to each device:
+// volume indexes rescale between the phone's 15-step and the tablet's
+// 30-step ranges, and the UI re-lays out for each screen.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flux"
+	"flux/internal/services"
+)
+
+func main() {
+	phone, err := flux.NewDevice(flux.Nexus4("pocket-phone"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tablet, err := flux.NewDevice(flux.Nexus7v2013("couch-tablet"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	netflix := flux.AppByPackage("com.netflix.mediaclient")
+	if err := flux.Install(phone, *netflix); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := flux.PairDevices(phone, tablet, []string{netflix.Spec.Package}); err != nil {
+		log.Fatal(err)
+	}
+
+	session, err := flux.LaunchApp(phone, *netflix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Start the movie on the phone: position saved, volume 11/15, playback
+	// wakelock held.
+	session.Save("movie", "the-grand-simulation")
+	session.Save("position", "00:42:07")
+	fmt.Printf("watching on %s (volume %d/%d)\n", phone.Name(),
+		phone.System.Audio.StreamVolume(services.StreamMusic), phone.System.Audio.MaxSteps())
+
+	// Hand off to the big screen.
+	toCouch, err := flux.Migrate(phone, tablet, netflix.Spec.Package, flux.MigrateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("→ couch in %v; resumed at %s on a %s screen, volume %d/%d\n",
+		toCouch.Timings.UserPerceived().Round(1e6),
+		toCouch.App.SavedState()["position"],
+		tablet.Runtime.Screen(),
+		tablet.System.Audio.StreamVolume(services.StreamMusic), tablet.System.Audio.MaxSteps())
+	if !tablet.Kernel.Wakelocks.AnyHeld() {
+		log.Fatal("playback wakelock lost in migration")
+	}
+
+	// Battery low on the tablet — hand it back.
+	toCouch.App.PutSavedState("position", "01:58:33") // nearly done
+	back, err := flux.Migrate(tablet, phone, netflix.Spec.Package, flux.MigrateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("← phone in %v; finishing at %s, volume back to %d/%d\n",
+		back.Timings.UserPerceived().Round(1e6),
+		back.App.SavedState()["position"],
+		phone.System.Audio.StreamVolume(services.StreamMusic), phone.System.Audio.MaxSteps())
+	if back.StateConsistent() {
+		fmt.Println("round trip kept every service's state consistent ✓")
+	}
+}

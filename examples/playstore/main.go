@@ -1,0 +1,31 @@
+// Playstore: the paper's Google Play analysis (§4, Figure 17). Synthesizes
+// the 488,259-app crawl, reports the install-size distribution that bounds
+// pairing costs, and counts the apps Flux cannot migrate because they
+// preserve their EGL context across pauses.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"flux"
+	"flux/internal/playstore"
+)
+
+func main() {
+	cat := flux.PlayStoreCatalog(playstore.PaperCatalogSize)
+	fmt.Printf("catalog: %d free apps (paper: %d)\n\n", cat.Len(), playstore.PaperCatalogSize)
+
+	fmt.Println("installation-size CDF (Figure 17):")
+	for _, pt := range cat.CDF(playstore.Figure17Thresholds()) {
+		bar := strings.Repeat("#", int(pt.Frac*40))
+		fmt.Printf("  ≤ %9d KB  %5.1f%%  %s\n", pt.SizeKB, pt.Frac*100, bar)
+	}
+
+	fmt.Printf("\nroughly %.0f%% of apps are under 1 MB; %.0f%% under 10 MB (paper: 60%% and 90%%)\n",
+		cat.FractionBelow(1<<10)*100, cat.FractionBelow(10<<10)*100)
+
+	preserve := cat.PreserveEGLCount()
+	fmt.Printf("\nsetPreserveEGLContextOnPause callers: %d (paper: %d)\n", preserve, playstore.PaperPreserveEGLCount)
+	fmt.Printf("Flux can migrate %.2f%% of the catalog\n", cat.MigratableFraction()*100)
+}

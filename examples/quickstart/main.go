@@ -1,0 +1,66 @@
+// Quickstart: migrate an unmodified app from a phone to a tablet with the
+// flux public API — pair once, launch, swipe (Migrate), and verify the app
+// picked up exactly where it left off with its UI re-laid-out for the
+// tablet's screen.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flux"
+)
+
+func main() {
+	// Two devices running Flux. Profiles model the paper's evaluation
+	// hardware, including GPU, kernel version, screen, and radio.
+	phone, err := flux.NewDevice(flux.Nexus4("my-phone"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tablet, err := flux.NewDevice(flux.Nexus7v2013("my-tablet"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick an app from the paper's Table 3 catalog and install it on the
+	// phone — its *home* device.
+	app := flux.AppByPackage("com.bible.reader")
+	if err := flux.Install(phone, *app); err != nil {
+		log.Fatal(err)
+	}
+
+	// One-time pairing: core frameworks sync to the tablet with rsync
+	// --link-dest semantics, and the app is pseudo-installed there.
+	pres, err := flux.PairDevices(phone, tablet, []string{app.Spec.Package})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paired: %.0f MB of frameworks, only %.0f MB crossed the air\n",
+		float64(pres.ConstantBytes)/(1<<20), float64(pres.TotalWireBytes())/(1<<20))
+
+	// Launch the app and run its workload (reading John 3, setting a
+	// verse-of-the-day alarm, copying a verse to the clipboard).
+	session, err := flux.LaunchApp(phone, *app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reading on the phone: chapter %s, screen %s\n",
+		session.App.SavedState()["chapter"], phone.Runtime.Screen())
+
+	// The swipe: migrate to the tablet.
+	report, err := flux.Migrate(phone, tablet, app.Spec.Package, flux.MigrateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	restored := report.App
+	fmt.Printf("migrated in %v (%.1f MB over WiFi)\n",
+		report.Timings.Total().Round(1e6), float64(report.TransferredBytes)/(1<<20))
+	fmt.Printf("still on chapter %s, now drawn for %s\n",
+		restored.SavedState()["chapter"],
+		restored.MainActivity().Window().ViewRoot().DrawnFor())
+	if report.StateConsistent() {
+		fmt.Println("notifications, alarms, and clipboard followed the app ✓")
+	}
+}

@@ -1,0 +1,88 @@
+package flux_test
+
+import (
+	"strings"
+	"testing"
+
+	"flux"
+)
+
+// TestPublicAPIQuickstart is the README quickstart, verified.
+func TestPublicAPIQuickstart(t *testing.T) {
+	home, err := flux.NewDevice(flux.Nexus4("my-phone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest, err := flux.NewDevice(flux.Nexus7v2013("my-tablet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := flux.AppByPackage("com.netflix.mediaclient")
+	if app == nil {
+		t.Fatal("Netflix missing from catalog")
+	}
+	if err := flux.Install(home, *app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flux.PairDevices(home, guest, []string{app.Spec.Package}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flux.LaunchApp(home, *app); err != nil {
+		t.Fatal(err)
+	}
+	report, err := flux.Migrate(home, guest, app.Spec.Package, flux.MigrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.StateConsistent() {
+		t.Error("quickstart migration left inconsistent state")
+	}
+	if report.Timings.Total() <= 0 {
+		t.Error("no time elapsed")
+	}
+}
+
+func TestCatalogAccessors(t *testing.T) {
+	if got := len(flux.EvaluationApps()); got != 18 {
+		t.Errorf("EvaluationApps = %d", got)
+	}
+	if got := len(flux.MigratableApps()); got != 16 {
+		t.Errorf("MigratableApps = %d", got)
+	}
+	cat := flux.PlayStoreCatalog(5000)
+	if cat.Len() != 5000 {
+		t.Errorf("catalog len = %d", cat.Len())
+	}
+}
+
+func TestRefusalErrorsExported(t *testing.T) {
+	for name, err := range map[string]error{
+		"ErrNotPaired":       flux.ErrNotPaired,
+		"ErrNotRunning":      flux.ErrNotRunning,
+		"ErrPreserveEGL":     flux.ErrPreserveEGL,
+		"ErrMultiProcess":    flux.ErrMultiProcess,
+		"ErrProviderBusy":    flux.ErrProviderBusy,
+		"ErrNonSystemBinder": flux.ErrNonSystemBinder,
+		"ErrAPILevel":        flux.ErrAPILevel,
+	} {
+		if err == nil {
+			t.Errorf("%s is nil", name)
+		}
+	}
+}
+
+func TestRunEvaluationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation is slow")
+	}
+	var sb strings.Builder
+	if err := flux.RunEvaluation(&sb, 40, 10000); err != nil {
+		t.Fatalf("RunEvaluation: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 2", "Figure 12", "Figure 16", "Figure 17", "Pairing cost", "Expected failures", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("evaluation output missing %q", want)
+		}
+	}
+}

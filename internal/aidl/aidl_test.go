@@ -1,0 +1,364 @@
+package aidl
+
+import (
+	"reflect"
+	"testing"
+
+	"flux/internal/binder"
+)
+
+// notificationSrc is Figure 7 of the paper, verbatim semantics.
+const notificationSrc = `
+interface INotificationManager {
+    @record
+    void enqueueNotification(int id, in Notification notification);
+
+    @record {
+        @drop this, enqueueNotification;
+        @if id;
+    }
+    void cancelNotification(int id);
+}
+`
+
+// alarmSrc is Figure 9 of the paper, including the line continuation.
+const alarmSrc = `
+interface IAlarmManager {
+    @record {
+        @drop this;
+        @if operation;
+        @replayproxy \
+            flux.recordreplay.Proxies.alarmMgrSet;
+    }
+    void set(int type, long triggerAtTime, in PendingIntent operation);
+
+    @record {
+        @drop this;
+        @if operation;
+    }
+    void remove(in PendingIntent operation);
+}
+`
+
+func TestParseNotificationManager(t *testing.T) {
+	itf, err := Parse(notificationSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if itf.Name != "INotificationManager" {
+		t.Errorf("Name = %q", itf.Name)
+	}
+	if len(itf.Methods) != 2 {
+		t.Fatalf("got %d methods", len(itf.Methods))
+	}
+	enq := itf.Method("enqueueNotification")
+	if enq == nil || enq.Code != 1 {
+		t.Fatalf("enqueueNotification = %+v", enq)
+	}
+	if enq.Record == nil || len(enq.Record.DropMethods) != 0 {
+		t.Errorf("enqueue record spec = %+v, want bare @record", enq.Record)
+	}
+	if len(enq.Params) != 2 || enq.Params[0].Type != TypeInt || enq.Params[1].Type != TypeParcelable {
+		t.Errorf("enqueue params = %+v", enq.Params)
+	}
+	if !enq.Params[1].In {
+		t.Error("parcelable param lost `in` direction")
+	}
+
+	cancel := itf.Method("cancelNotification")
+	if cancel == nil || cancel.Code != 2 {
+		t.Fatalf("cancelNotification = %+v", cancel)
+	}
+	wantDrop := []string{"this", "enqueueNotification"}
+	if !reflect.DeepEqual(cancel.Record.DropMethods, wantDrop) {
+		t.Errorf("drop = %v, want %v", cancel.Record.DropMethods, wantDrop)
+	}
+	wantSig := [][]string{{"id"}}
+	if !reflect.DeepEqual(cancel.Record.Signatures, wantSig) {
+		t.Errorf("signatures = %v, want %v", cancel.Record.Signatures, wantSig)
+	}
+}
+
+func TestParseAlarmManagerReplayProxy(t *testing.T) {
+	itf, err := Parse(alarmSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	set := itf.Method("set")
+	if set == nil {
+		t.Fatal("no set method")
+	}
+	if got := set.Record.ReplayProxy; got != "flux.recordreplay.Proxies.alarmMgrSet" {
+		t.Errorf("ReplayProxy = %q", got)
+	}
+	rm := itf.Method("remove")
+	if rm.Record.ReplayProxy != "" {
+		t.Errorf("remove has proxy %q", rm.Record.ReplayProxy)
+	}
+	if set.Params[1].Type != TypeLong {
+		t.Errorf("triggerAtTime type = %v", set.Params[1].Type)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing interface kw", `foo INotif {}`},
+		{"unterminated", `interface I { void a();`},
+		{"dup method", `interface I { void a(); void a(); }`},
+		{"dup param", `interface I { void a(int x, int x); }`},
+		{"drop unknown method", `interface I { @record { @drop nosuch; } void a(); }`},
+		{"if unknown arg", `interface I { @record { @drop this; @if nope; } void a(int x); }`},
+		{"elif before if", `interface I { @record { @drop this; @elif x; } void a(int x); }`},
+		{"unknown decoration", `interface I { @record { @frob x; } void a(int x); }`},
+		{"decoration not record", `interface I { @drop this; void a(); }`},
+		{"if arg missing on drop target", `interface I { void b(int y); @record { @drop b; @if x; } void a(int x); }`},
+		{"duplicate replayproxy", `interface I { @record { @replayproxy a.b; @replayproxy c.d; } void a(); }`},
+		{"stray char", `interface I { void a(); } $`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: Parse accepted invalid source", tc.name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// NotificationManager subset
+interface I {
+    void a(); // trailing comment
+}
+`
+	itf, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse with comments: %v", err)
+	}
+	if len(itf.Methods) != 1 {
+		t.Errorf("methods = %d", len(itf.Methods))
+	}
+}
+
+func TestTransactionCodesSequential(t *testing.T) {
+	itf := MustParse(`interface I { void a(); void b(); void c(); }`)
+	for i, m := range itf.Methods {
+		if m.Code != uint32(i+1) {
+			t.Errorf("method %s code = %d, want %d", m.Name, m.Code, i+1)
+		}
+	}
+	if itf.MethodByCode(2).Name != "b" {
+		t.Error("MethodByCode(2) != b")
+	}
+	if itf.MethodByCode(99) != nil {
+		t.Error("MethodByCode(99) != nil")
+	}
+}
+
+func TestRulesCompilation(t *testing.T) {
+	itf := MustParse(alarmSrc)
+	rules := Rules(itf)
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	set := rules[0]
+	if set.Method != "set" || set.Interface != "IAlarmManager" || !set.DropsSelf() {
+		t.Errorf("set rule = %+v", set)
+	}
+	if set.ReplayProxy == "" {
+		t.Error("set rule lost replay proxy")
+	}
+	// Undecorated interfaces compile to no rules.
+	plain := MustParse(`interface I { void a(); }`)
+	if got := Rules(plain); len(got) != 0 {
+		t.Errorf("plain rules = %v", got)
+	}
+}
+
+func TestRecordedMethods(t *testing.T) {
+	itf := MustParse(notificationSrc)
+	got := itf.RecordedMethods()
+	want := []string{"enqueueNotification", "cancelNotification"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RecordedMethods = %v, want %v", got, want)
+	}
+}
+
+func TestMarshalCallArgsTypes(t *testing.T) {
+	itf := MustParse(`interface I {
+        void m(int a, long b, float c, boolean d, String e, in Blob f, IBinder g, ParcelFileDescriptor h);
+    }`)
+	m := itf.Method("m")
+	p, err := MarshalCallArgs(m, 1, int64(2), 3.5, true, "hi", Object("blob"), binder.Handle(4), 5)
+	if err != nil {
+		t.Fatalf("MarshalCallArgs: %v", err)
+	}
+	if p.Len() != 8 {
+		t.Errorf("parcel len = %d", p.Len())
+	}
+	if got := p.MustInt32(); got != 1 {
+		t.Errorf("a = %d", got)
+	}
+	if got := p.MustInt64(); got != 2 {
+		t.Errorf("b = %d", got)
+	}
+	if got := p.MustFloat64(); got != 3.5 {
+		t.Errorf("c = %g", got)
+	}
+	if got := p.MustBool(); !got {
+		t.Error("d = false")
+	}
+	if got := p.MustString(); got != "hi" {
+		t.Errorf("e = %q", got)
+	}
+	if got := p.MustString(); got != "blob" {
+		t.Errorf("f = %q", got)
+	}
+	if got := p.MustHandle(); got != 4 {
+		t.Errorf("g = %d", got)
+	}
+	if got := p.MustFD(); got != 5 {
+		t.Errorf("h = %d", got)
+	}
+}
+
+func TestMarshalCallArgsErrors(t *testing.T) {
+	itf := MustParse(`interface I { void m(int a, String b); }`)
+	m := itf.Method("m")
+	if _, err := MarshalCallArgs(m, 1); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := MarshalCallArgs(m, "no", "b"); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := MarshalCallArgs(m, 1, 2); err == nil {
+		t.Error("string type mismatch accepted")
+	}
+}
+
+func TestArgString(t *testing.T) {
+	itf := MustParse(alarmSrc)
+	m := itf.Method("set")
+	p, err := MarshalCallArgs(m, 0, int64(12345), Object("intent:netflix/resume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ArgString(m, p, "operation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "s:intent:netflix/resume" {
+		t.Errorf("ArgString(operation) = %q", got)
+	}
+	if _, err := ArgString(m, p, "nosuch"); err == nil {
+		t.Error("ArgString on unknown arg succeeded")
+	}
+}
+
+func TestClientDispatcherEndToEnd(t *testing.T) {
+	itf := MustParse(`interface IEcho { String echo(String msg); int add(int a, int b); }`)
+	d := binder.NewDriver()
+	sys, err := d.OpenProc(1, "system_server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := d.OpenProc(100, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := NewDispatcher(itf).
+		Handle("echo", func(call *binder.Call, m *Method) error {
+			s, err := call.Data.ReadString()
+			if err != nil {
+				return err
+			}
+			call.Reply.WriteString(s + s)
+			return nil
+		}).
+		Handle("add", func(call *binder.Call, m *Method) error {
+			a := call.Data.MustInt32()
+			b := call.Data.MustInt32()
+			call.Reply.WriteInt32(a + b)
+			return nil
+		})
+	if _, err := binder.AddService(sys, "echo", itf.Name, disp); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(itf, app, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Call("echo", "ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reply.MustString(); got != "abab" {
+		t.Errorf("echo = %q", got)
+	}
+	reply, err = c.Call("add", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reply.MustInt32(); got != 5 {
+		t.Errorf("add = %d", got)
+	}
+	if _, err := c.Call("nosuch"); err == nil {
+		t.Error("unknown method call succeeded")
+	}
+}
+
+func TestDispatcherUnimplementedMethod(t *testing.T) {
+	itf := MustParse(`interface I { void a(); }`)
+	disp := NewDispatcher(itf)
+	call := &binder.Call{Code: 1, Data: binder.NewParcel(), Reply: binder.NewParcel()}
+	if err := disp.Transact(call); err == nil {
+		t.Error("unimplemented method dispatched")
+	}
+	call.Code = 42
+	if err := disp.Transact(call); err == nil {
+		t.Error("unknown code dispatched")
+	}
+}
+
+func TestDispatcherHandleUnknownPanics(t *testing.T) {
+	itf := MustParse(`interface I { void a(); }`)
+	defer func() {
+		if recover() == nil {
+			t.Error("Handle on unknown method did not panic")
+		}
+	}()
+	NewDispatcher(itf).Handle("nosuch", nil)
+}
+
+func TestDecorationLOC(t *testing.T) {
+	if got := DecorationLOC(notificationSrc); got != 5 {
+		t.Errorf("notification decoration LOC = %d, want 5", got)
+	}
+	// alarmSrc: set block has 6 lines (@record{, @drop, @if, @replayproxy,
+	// continuation, }), remove block 4.
+	if got := DecorationLOC(alarmSrc); got != 10 {
+		t.Errorf("alarm decoration LOC = %d, want 10", got)
+	}
+	if got := DecorationLOC("interface I { void a(); }"); got != 0 {
+		t.Errorf("plain decoration LOC = %d", got)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty, want := range map[Type]string{
+		TypeVoid: "void", TypeInt: "int", TypeLong: "long", TypeFloat: "float",
+		TypeBool: "boolean", TypeString: "String", TypeBytes: "byte[]",
+		TypeBinder: "IBinder", TypeFD: "ParcelFileDescriptor",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("Type.String(%d) = %q, want %q", ty, got, want)
+		}
+	}
+	if typeOf("byte[]") != TypeBytes {
+		t.Error("byte[] did not map to TypeBytes")
+	}
+	if typeOf("Notification") != TypeParcelable {
+		t.Error("unknown class did not map to TypeParcelable")
+	}
+}

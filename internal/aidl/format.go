@@ -1,0 +1,113 @@
+package aidl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders an Interface back to canonical decorated-AIDL source.
+// Parse(Format(itf)) is semantically the identity (verified by property
+// test), which makes compiled interfaces inspectable — fluxtrace and
+// debugging tools print them — and guards the parser and AST against
+// drifting apart.
+func Format(itf *Interface) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "interface %s {\n", itf.Name)
+	for i, m := range itf.Methods {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		if m.Record != nil {
+			formatRecord(&b, m.Record)
+		}
+		b.WriteString("    ")
+		if m.OneWay {
+			b.WriteString("oneway ")
+		}
+		fmt.Fprintf(&b, "%s %s(", formatType(m.Returns), m.Name)
+		for j, p := range m.Params {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			if p.Type == TypeParcelable && p.In {
+				b.WriteString("in ")
+			}
+			fmt.Fprintf(&b, "%s %s", formatType(p.Type), p.Name)
+		}
+		b.WriteString(");\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func formatRecord(b *strings.Builder, r *RecordSpec) {
+	if len(r.DropMethods) == 0 && len(r.Signatures) == 0 && r.ReplayProxy == "" {
+		b.WriteString("    @record\n")
+		return
+	}
+	b.WriteString("    @record {\n")
+	if len(r.DropMethods) > 0 {
+		fmt.Fprintf(b, "        @drop %s;\n", strings.Join(r.DropMethods, ", "))
+	}
+	for i, sig := range r.Signatures {
+		kw := "@if"
+		if i > 0 {
+			kw = "@elif"
+		}
+		fmt.Fprintf(b, "        %s %s;\n", kw, strings.Join(sig, ", "))
+	}
+	if r.ReplayProxy != "" {
+		fmt.Fprintf(b, "        @replayproxy %s;\n", r.ReplayProxy)
+	}
+	b.WriteString("    }\n")
+}
+
+// formatType renders a type as parseable source. Parcelable round-trips
+// through a placeholder class name (the concrete class name is not kept in
+// the AST; any unknown identifier parses back to TypeParcelable).
+func formatType(t Type) string {
+	if t == TypeParcelable {
+		return "Parcelable"
+	}
+	return t.String()
+}
+
+// EqualSemantics reports whether two interfaces compile to the same
+// dispatch table and record rules — the equivalence Format/Parse preserves.
+func EqualSemantics(a, b *Interface) bool {
+	if a.Name != b.Name || len(a.Methods) != len(b.Methods) {
+		return false
+	}
+	for i := range a.Methods {
+		ma, mb := a.Methods[i], b.Methods[i]
+		if ma.Name != mb.Name || ma.Code != mb.Code || ma.Returns != mb.Returns || ma.OneWay != mb.OneWay {
+			return false
+		}
+		if len(ma.Params) != len(mb.Params) {
+			return false
+		}
+		for j := range ma.Params {
+			if ma.Params[j] != mb.Params[j] {
+				return false
+			}
+		}
+		ra, rb := ma.Record, mb.Record
+		if (ra == nil) != (rb == nil) {
+			return false
+		}
+		if ra == nil {
+			continue
+		}
+		if ra.ReplayProxy != rb.ReplayProxy ||
+			strings.Join(ra.DropMethods, ",") != strings.Join(rb.DropMethods, ",") ||
+			len(ra.Signatures) != len(rb.Signatures) {
+			return false
+		}
+		for k := range ra.Signatures {
+			if strings.Join(ra.Signatures[k], ",") != strings.Join(rb.Signatures[k], ",") {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+package aidl
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFormatRoundTripPaperExamples(t *testing.T) {
+	for name, src := range map[string]string{
+		"notification": notificationSrc,
+		"alarm":        alarmSrc,
+	} {
+		orig := MustParse(src)
+		formatted := Format(orig)
+		back, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("%s: reparsing formatted source: %v\n%s", name, err, formatted)
+		}
+		if !EqualSemantics(orig, back) {
+			t.Errorf("%s: semantics changed through Format/Parse:\n%s", name, formatted)
+		}
+	}
+}
+
+func TestFormatOneWay(t *testing.T) {
+	itf := MustParse(`interface I { oneway void fire(int x); int sync(); }`)
+	if !itf.Method("fire").OneWay {
+		t.Fatal("oneway not parsed")
+	}
+	if itf.Method("sync").OneWay {
+		t.Fatal("sync wrongly oneway")
+	}
+	out := Format(itf)
+	if !strings.Contains(out, "oneway void fire") {
+		t.Errorf("Format lost oneway:\n%s", out)
+	}
+	back := MustParse(out)
+	if !EqualSemantics(itf, back) {
+		t.Error("oneway did not survive round trip")
+	}
+}
+
+func TestOneWayMustReturnVoid(t *testing.T) {
+	if _, err := Parse(`interface I { oneway int bad(); }`); err == nil {
+		t.Error("oneway non-void accepted")
+	}
+}
+
+// randomInterface builds a structurally valid random interface.
+func randomInterface(rng *rand.Rand) *Interface {
+	itf := &Interface{Name: fmt.Sprintf("IRand%d", rng.Intn(1000))}
+	types := []Type{TypeInt, TypeLong, TypeFloat, TypeBool, TypeString, TypeBytes, TypeParcelable, TypeBinder, TypeFD}
+	nMethods := 1 + rng.Intn(6)
+	for i := 0; i < nMethods; i++ {
+		m := &Method{
+			Name:    fmt.Sprintf("method%d", i),
+			Returns: TypeVoid,
+			Code:    uint32(i + 1),
+			OneWay:  rng.Intn(4) == 0,
+		}
+		if !m.OneWay && rng.Intn(3) == 0 {
+			m.Returns = types[rng.Intn(4)] // simple returns only
+		}
+		nParams := rng.Intn(4)
+		for j := 0; j < nParams; j++ {
+			m.Params = append(m.Params, Param{
+				Name: fmt.Sprintf("arg%d", j),
+				Type: types[rng.Intn(len(types))],
+				In:   true,
+			})
+		}
+		itf.Methods = append(itf.Methods, m)
+	}
+	// Decorate a random subset with valid drop/if rules.
+	for i, m := range itf.Methods {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		spec := &RecordSpec{}
+		if rng.Intn(2) == 0 {
+			spec.DropMethods = append(spec.DropMethods, "this")
+		}
+		// Drop an earlier method if its params are a superset of a chosen
+		// signature; to keep it simple, use signatures over args both share.
+		if i > 0 && rng.Intn(2) == 0 {
+			prev := itf.Methods[rng.Intn(i)]
+			shared := sharedArgs(m, prev)
+			if len(shared) > 0 {
+				spec.DropMethods = append(spec.DropMethods, prev.Name)
+				spec.Signatures = append(spec.Signatures, shared[:1])
+			} else if len(m.Params) == 0 && len(prev.Params) == 0 {
+				spec.DropMethods = append(spec.DropMethods, prev.Name)
+			}
+		}
+		if rng.Intn(4) == 0 {
+			spec.ReplayProxy = "flux.recordreplay.Proxies.testProxy"
+		}
+		if len(spec.DropMethods) > 0 || spec.ReplayProxy != "" {
+			m.Record = spec
+		}
+	}
+	return itf
+}
+
+func sharedArgs(a, b *Method) []string {
+	var out []string
+	for _, pa := range a.Params {
+		if pb, _ := b.Param(pa.Name); pb != nil && pb.Type == pa.Type {
+			out = append(out, pa.Name)
+		}
+	}
+	return out
+}
+
+func TestFormatRoundTripRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		itf := randomInterface(rng)
+		formatted := Format(itf)
+		back, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("iteration %d: %v\n%s", i, err, formatted)
+		}
+		if !EqualSemantics(itf, back) {
+			t.Fatalf("iteration %d: semantics changed:\n%s", i, formatted)
+		}
+		// Idempotence: formatting the reparsed AST is byte-identical.
+		if again := Format(back); again != formatted {
+			t.Fatalf("iteration %d: Format not idempotent:\n%s\nvs\n%s", i, formatted, again)
+		}
+	}
+}
+
+func TestEqualSemanticsDetectsDifferences(t *testing.T) {
+	a := MustParse(`interface I { void m(int x); }`)
+	for _, src := range []string{
+		`interface J { void m(int x); }`,         // name
+		`interface I { void m(long x); }`,        // param type
+		`interface I { void m(int x, int y); }`,  // arity
+		`interface I { void n(int x); }`,         // method name
+		`interface I { oneway void m(int x); }`,  // oneway
+		`interface I { @record void m(int x); }`, // decoration
+	} {
+		b := MustParse(src)
+		if EqualSemantics(a, b) {
+			t.Errorf("EqualSemantics missed difference vs %s", src)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package aidl implements the Android Interface Definition Language subset
+// Flux extends with record/replay decorators (paper §3.2, Table 1). Service
+// interface definitions written in this language are compiled into two
+// artifacts: a Binder dispatch table (method name ↔ transaction code,
+// parameter marshalling layout) and the Selective Record rules that tell the
+// recorder which calls to log, which earlier calls each new call invalidates
+// (@drop qualified by @if/@elif argument signatures), and which proxy method
+// Adaptive Replay must substitute (@replayproxy).
+package aidl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokAt     // @
+	tokLBrace // {
+	tokRBrace // }
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+	tokSemi   // ;
+	tokDot    // .
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokAt:
+		return "'@'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokDot:
+		return "'.'"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src   string
+	pos   int
+	line  int
+	col   int
+	token []token
+}
+
+// lex tokenizes src, returning a token stream ending in tokEOF. Line
+// comments (//) and backslash line continuations (used in the paper's
+// @replayproxy example) are handled here.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.advance()
+		case c == '\\' && l.peekNext() == '\n':
+			l.advance()
+			l.advance()
+		case unicode.IsSpace(rune(c)):
+			l.advance()
+		case c == '/' && l.peekNext() == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == '@':
+			l.emit(tokAt, "@")
+		case c == '{':
+			l.emit(tokLBrace, "{")
+		case c == '}':
+			l.emit(tokRBrace, "}")
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == ';':
+			l.emit(tokSemi, ";")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case isIdentStart(c):
+			start := l.pos
+			line, col := l.line, l.col
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.advance()
+			}
+			l.token = append(l.token, token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col})
+		default:
+			return nil, fmt.Errorf("aidl: %d:%d: unexpected character %q", l.line, l.col, c)
+		}
+	}
+	l.token = append(l.token, token{kind: tokEOF, line: l.line, col: l.col})
+	return l.token, nil
+}
+
+func (l *lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func (l *lexer) peekNext() byte {
+	if l.pos+1 < len(l.src) {
+		return l.src[l.pos+1]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.token = append(l.token, token{kind: k, text: text, line: l.line, col: l.col})
+	l.advance()
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '[' || c == ']'
+}
+
+// DecorationLOC counts the lines of src that belong to Flux decorations:
+// lines whose first token is '@' plus continuation lines, and the braces of
+// @record blocks. This is the measurement behind Table 2's LOC column.
+func DecorationLOC(src string) int {
+	count := 0
+	inBlock := 0
+	continued := false
+	for _, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case continued:
+			count++
+			continued = strings.HasSuffix(line, "\\")
+		case strings.HasPrefix(line, "@"):
+			count++
+			continued = strings.HasSuffix(line, "\\")
+			if strings.HasSuffix(line, "{") {
+				inBlock++
+			}
+		case inBlock > 0:
+			count++
+			if strings.HasPrefix(line, "}") {
+				inBlock--
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,331 @@
+package aidl
+
+import (
+	"fmt"
+)
+
+// Parse compiles an AIDL source string (with optional Flux decorations)
+// into an Interface. Semantic checks run after parsing: drop lists must
+// reference declared methods (or "this"), @if arguments must name
+// parameters of every method in the drop list, and decorations must precede
+// a method declaration.
+func Parse(src string) (*Interface, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	itf, err := p.parseInterface()
+	if err != nil {
+		return nil, err
+	}
+	if err := check(itf); err != nil {
+		return nil, err
+	}
+	return itf, nil
+}
+
+// MustParse is Parse for compile-time-constant service definitions; it
+// panics on error, which is appropriate for framework init.
+func MustParse(src string) *Interface {
+	itf, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return itf
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("aidl: %d:%d: expected %v, found %v %q", t.line, t.col, k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectIdent(text string) (token, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return t, err
+	}
+	if text != "" && t.text != text {
+		return t, fmt.Errorf("aidl: %d:%d: expected %q, found %q", t.line, t.col, text, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseInterface() (*Interface, error) {
+	if _, err := p.expectIdent("interface"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	itf := &Interface{Name: name.text}
+	code := uint32(1) // FIRST_CALL_TRANSACTION
+	for {
+		if p.peek().kind == tokRBrace {
+			p.next()
+			break
+		}
+		if p.peek().kind == tokEOF {
+			return nil, fmt.Errorf("aidl: unexpected EOF inside interface %s", itf.Name)
+		}
+		var spec *RecordSpec
+		if p.peek().kind == tokAt {
+			spec, err = p.parseDecoration()
+			if err != nil {
+				return nil, err
+			}
+		}
+		m, err := p.parseMethod()
+		if err != nil {
+			return nil, err
+		}
+		m.Record = spec
+		m.Code = code
+		code++
+		if itf.Method(m.Name) != m && itf.Method(m.Name) != nil {
+			return nil, fmt.Errorf("aidl: interface %s declares method %s twice", itf.Name, m.Name)
+		}
+		itf.Methods = append(itf.Methods, m)
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("aidl: %d:%d: trailing input after interface", t.line, t.col)
+	}
+	return itf, nil
+}
+
+// parseDecoration handles both forms from the paper:
+//
+//	@record
+//	@record { @drop a, b; @if x, y; @elif z; @replayproxy pkg.Cls.meth; }
+func (p *parser) parseDecoration() (*RecordSpec, error) {
+	if _, err := p.expect(tokAt); err != nil {
+		return nil, err
+	}
+	kw, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if kw.text != "record" {
+		return nil, fmt.Errorf("aidl: %d:%d: decoration must start with @record, found @%s", kw.line, kw.col, kw.text)
+	}
+	spec := &RecordSpec{}
+	if p.peek().kind != tokLBrace {
+		return spec, nil // bare @record
+	}
+	p.next()
+	for p.peek().kind != tokRBrace {
+		if _, err := p.expect(tokAt); err != nil {
+			return nil, err
+		}
+		stmt, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch stmt.text {
+		case "drop":
+			names, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			spec.DropMethods = append(spec.DropMethods, names...)
+		case "if", "elif":
+			if stmt.text == "elif" && len(spec.Signatures) == 0 {
+				return nil, fmt.Errorf("aidl: %d:%d: @elif without preceding @if", stmt.line, stmt.col)
+			}
+			args, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			spec.Signatures = append(spec.Signatures, args)
+		case "replayproxy":
+			path, err := p.parseDottedPath()
+			if err != nil {
+				return nil, err
+			}
+			if spec.ReplayProxy != "" {
+				return nil, fmt.Errorf("aidl: %d:%d: duplicate @replayproxy", stmt.line, stmt.col)
+			}
+			spec.ReplayProxy = path
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("aidl: %d:%d: unknown decoration @%s", stmt.line, stmt.col, stmt.text)
+		}
+	}
+	p.next() // consume '}'
+	return spec, nil
+}
+
+func (p *parser) parseIdentList() ([]string, error) {
+	var names []string
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, t.text)
+		switch p.peek().kind {
+		case tokComma:
+			p.next()
+		case tokSemi:
+			p.next()
+			return names, nil
+		default:
+			t := p.peek()
+			return nil, fmt.Errorf("aidl: %d:%d: expected ',' or ';' in list, found %v", t.line, t.col, t.kind)
+		}
+	}
+}
+
+func (p *parser) parseDottedPath() (string, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	path := t.text
+	for p.peek().kind == tokDot {
+		p.next()
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return "", err
+		}
+		path += "." + t.text
+	}
+	return path, nil
+}
+
+// parseMethod parses `[oneway] retType name(params);`.
+func (p *parser) parseMethod() (*Method, error) {
+	ret, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	oneway := false
+	if ret.text == "oneway" {
+		oneway = true
+		ret, err = p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if typeOf(ret.text) != TypeVoid {
+			return nil, fmt.Errorf("aidl: %d:%d: oneway methods must return void", ret.line, ret.col)
+		}
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	m := &Method{Name: name.text, Returns: typeOf(ret.text), OneWay: oneway}
+	for p.peek().kind != tokRParen {
+		var param Param
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "in" || t.text == "out" || t.text == "inout" {
+			param.In = t.text != "out"
+			t, err = p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			param.In = true
+		}
+		param.Type = typeOf(t.text)
+		pname, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		param.Name = pname.text
+		m.Params = append(m.Params, param)
+		if p.peek().kind == tokComma {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// check runs semantic validation over a parsed interface.
+func check(itf *Interface) error {
+	seen := map[string]bool{}
+	for _, m := range itf.Methods {
+		if seen[m.Name] {
+			return fmt.Errorf("aidl: interface %s declares method %s twice", itf.Name, m.Name)
+		}
+		seen[m.Name] = true
+		pseen := map[string]bool{}
+		for _, param := range m.Params {
+			if pseen[param.Name] {
+				return fmt.Errorf("aidl: %s.%s declares parameter %s twice", itf.Name, m.Name, param.Name)
+			}
+			pseen[param.Name] = true
+		}
+	}
+	for _, m := range itf.Methods {
+		if m.Record == nil {
+			continue
+		}
+		for _, target := range m.Record.DropMethods {
+			if target == "this" {
+				continue
+			}
+			tm := itf.Method(target)
+			if tm == nil {
+				return fmt.Errorf("aidl: %s.%s: @drop references unknown method %s", itf.Name, m.Name, target)
+			}
+		}
+		for _, sig := range m.Record.Signatures {
+			for _, arg := range sig {
+				if param, _ := m.Param(arg); param == nil {
+					return fmt.Errorf("aidl: %s.%s: @if argument %s is not a parameter", itf.Name, m.Name, arg)
+				}
+				// Every drop target must also carry the argument so the
+				// signature is comparable across calls.
+				for _, target := range m.Record.DropMethods {
+					if target == "this" {
+						continue
+					}
+					tm := itf.Method(target)
+					if tm == nil {
+						continue // reported above
+					}
+					if param, _ := tm.Param(arg); param == nil {
+						return fmt.Errorf("aidl: %s.%s: @if argument %s is not a parameter of drop target %s",
+							itf.Name, m.Name, arg, target)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Package android models the framework runtime a Flux app lives in: the
+// app and its activities with their Resumed/Paused/Stopped life cycle, the
+// Window/Surface/View hierarchy, the HardwareRenderer and its trim-memory
+// cascade (the exact chain paper §3.3 walks: handleTrimMemory →
+// startTrimMemory → terminateHardwareResources → endTrimMemory →
+// eglUnload), broadcast receivers and intents, and the conditional
+// reinitialization that rebuilds graphics state for the guest screen after
+// restore.
+package android
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Intent is Android's messaging object: a request for an action, optionally
+// carrying extras, broadcast to matching receivers.
+type Intent struct {
+	Action string
+	Pkg    string // target package; empty for broadcast to all
+	Extras map[string]string
+}
+
+// Extra returns a named extra, or "".
+func (i Intent) Extra(key string) string { return i.Extras[key] }
+
+// String renders the intent compactly for logs and tests.
+func (i Intent) String() string {
+	if i.Pkg != "" {
+		return fmt.Sprintf("intent{%s → %s}", i.Action, i.Pkg)
+	}
+	return fmt.Sprintf("intent{%s}", i.Action)
+}
+
+// Well-known broadcast actions used by the framework and by Flux's
+// reintegration phase.
+const (
+	ActionConnectivityChange  = "android.net.conn.CONNECTIVITY_CHANGE"
+	ActionConfigurationChange = "android.intent.action.CONFIGURATION_CHANGED"
+	ActionAlarmFired          = "flux.intent.action.ALARM_FIRED"
+	ActionHardwareChange      = "flux.intent.action.HARDWARE_CHANGED"
+)
+
+// BroadcastReceiver is an app-registered listener for intents.
+type BroadcastReceiver struct {
+	Action string
+	fn     func(Intent)
+}
+
+// receiverSet is the per-app registry of broadcast receivers.
+type receiverSet struct {
+	mu        sync.Mutex
+	receivers map[string][]*BroadcastReceiver
+}
+
+func newReceiverSet() *receiverSet {
+	return &receiverSet{receivers: make(map[string][]*BroadcastReceiver)}
+}
+
+func (rs *receiverSet) register(action string, fn func(Intent)) *BroadcastReceiver {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	r := &BroadcastReceiver{Action: action, fn: fn}
+	rs.receivers[action] = append(rs.receivers[action], r)
+	return r
+}
+
+func (rs *receiverSet) unregister(r *BroadcastReceiver) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	list := rs.receivers[r.Action]
+	for i, have := range list {
+		if have == r {
+			rs.receivers[r.Action] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+func (rs *receiverSet) deliver(in Intent) int {
+	rs.mu.Lock()
+	list := append([]*BroadcastReceiver(nil), rs.receivers[in.Action]...)
+	rs.mu.Unlock()
+	for _, r := range list {
+		r.fn(in)
+	}
+	return len(list)
+}
+
+func (rs *receiverSet) actions() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]string, 0, len(rs.receivers))
+	for a, list := range rs.receivers {
+		if len(list) > 0 {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package android
+
+import (
+	"testing"
+	"time"
+)
+
+func TestActivityStackPushPop(t *testing.T) {
+	r := testRuntime(t)
+	app := launch(t, r, testSpec())
+	main := app.MainActivity()
+
+	detail, err := r.StartActivity(app, "DetailActivity")
+	if err != nil {
+		t.Fatalf("StartActivity: %v", err)
+	}
+	if app.TopActivity() != detail {
+		t.Fatal("new activity not on top")
+	}
+	if detail.State() != StateResumed {
+		t.Errorf("top state = %v", detail.State())
+	}
+	if main.State() != StatePaused {
+		t.Errorf("main state = %v, want Paused under the new top", main.State())
+	}
+	// The idler stops the paused one.
+	r.Kernel().Clock().Advance(time.Second)
+	if main.State() != StateStopped {
+		t.Errorf("main state after idler = %v", main.State())
+	}
+	if main.Window().Surface() != nil {
+		t.Error("obscured activity retains surface")
+	}
+	// Back: detail is destroyed, main resumes with a fresh surface.
+	if err := r.BackPressed(app); err != nil {
+		t.Fatalf("BackPressed: %v", err)
+	}
+	if app.TopActivity() != main {
+		t.Fatal("main not back on top")
+	}
+	if main.State() != StateResumed {
+		t.Errorf("main state after back = %v", main.State())
+	}
+	if main.Window().Surface() == nil {
+		t.Error("resumed activity has no surface")
+	}
+	if detail.State() != StateStopped {
+		t.Errorf("popped state = %v", detail.State())
+	}
+}
+
+func TestBackPressedRefusesLastActivity(t *testing.T) {
+	r := testRuntime(t)
+	app := launch(t, r, testSpec())
+	if err := r.BackPressed(app); err == nil {
+		t.Error("popped the last activity")
+	}
+}
+
+func TestRuntimeStateCarriesStackOrder(t *testing.T) {
+	r := testRuntime(t)
+	app := launch(t, r, testSpec())
+	if _, err := r.StartActivity(app, "Second"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.StartActivity(app, "Third"); err != nil {
+		t.Fatal(err)
+	}
+	st := app.RuntimeState()
+	if len(st.Activities) != 3 {
+		t.Fatalf("snapshot has %d activities", len(st.Activities))
+	}
+	want := []string{"MainActivity", "Second", "Third"}
+	for i, snap := range st.Activities {
+		if snap.Name != want[i] {
+			t.Errorf("stack[%d] = %s, want %s", i, snap.Name, want[i])
+		}
+	}
+}
+
+func TestMultiActivityTrimCascade(t *testing.T) {
+	r := testRuntime(t)
+	app := launch(t, r, testSpec())
+	if _, err := r.StartActivity(app, "Second"); err != nil {
+		t.Fatal(err)
+	}
+	r.MoveToBackground(app)
+	r.Kernel().Clock().Advance(time.Second)
+	if err := app.HandleTrimMemory(); err != nil {
+		t.Fatalf("trim with two activities: %v", err)
+	}
+	if err := app.EGLUnload(); err != nil {
+		t.Fatalf("eglUnload: %v", err)
+	}
+	if got := app.DeviceSpecificResident(); len(got) != 0 {
+		t.Errorf("resident after prep: %v", got)
+	}
+}

@@ -1,0 +1,305 @@
+package android
+
+import (
+	"fmt"
+	"sync"
+
+	"flux/internal/gpu"
+)
+
+// Screen describes a display surface, part of the device model.
+type Screen struct {
+	WidthPx  int
+	HeightPx int
+	DPI      int
+}
+
+// PixelBytes is the byte cost of one full-screen 32-bit surface.
+func (s Screen) PixelBytes() int64 { return int64(s.WidthPx) * int64(s.HeightPx) * 4 }
+
+func (s Screen) String() string { return fmt.Sprintf("%dx%d@%ddpi", s.WidthPx, s.HeightPx, s.DPI) }
+
+// Surface is the pixel buffer a Window renders into. It exists only while
+// the activity is visible (Resumed or Paused); the Stopped transition
+// destroys it to conserve resources.
+type Surface struct {
+	Screen Screen
+	Bytes  int64
+}
+
+// View is one interactive UI element. Valid indicates whether its last draw
+// matches current window geometry; restore invalidates every view so the
+// next traversal redraws for the guest screen.
+type View struct {
+	Name  string
+	Valid bool
+}
+
+// ViewRoot roots a window's view hierarchy and owns the hardware-rendering
+// resources for it.
+type ViewRoot struct {
+	mu        sync.Mutex
+	views     []*View
+	canvas    bool
+	renderer  *HardwareRenderer
+	destroyed bool
+	drawnFor  Screen // geometry of the last successful traversal
+}
+
+// Views returns the hierarchy's views.
+func (vr *ViewRoot) Views() []*View {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	return append([]*View(nil), vr.views...)
+}
+
+// Invalidate marks every view dirty, forcing the next draw to re-render.
+func (vr *ViewRoot) Invalidate() {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	for _, v := range vr.views {
+		v.Valid = false
+	}
+}
+
+// isDestroyed reports whether the trim cascade has torn this root down.
+func (vr *ViewRoot) isDestroyed() bool {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	return vr.destroyed
+}
+
+// DrawnFor reports the screen geometry of the last completed traversal.
+func (vr *ViewRoot) DrawnFor() Screen {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	return vr.drawnFor
+}
+
+// terminateHardwareResources destroys the root's rendering resources and
+// removes its canvas — step three of the trim-memory cascade.
+func (vr *ViewRoot) terminateHardwareResources() error {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	vr.canvas = false
+	if vr.renderer != nil {
+		if err := vr.renderer.destroyHardwareResources(); err != nil {
+			return err
+		}
+		vr.renderer.disable()
+	}
+	return nil
+}
+
+// HardwareRenderer drives GPU rendering for one app: it lazily initializes
+// an EGL context (conditional initialization), caches textures, and is the
+// object the trim-memory cascade flushes and destroys.
+type HardwareRenderer struct {
+	lib *gpu.Library
+
+	mu        sync.Mutex
+	ctx       *gpu.Context
+	cacheIDs  []int
+	cacheSize int64
+	enabled   bool
+	preserve  bool
+}
+
+// NewHardwareRenderer creates a disabled renderer over the process's GL
+// library. preserve propagates setPreserveEGLContextOnPause.
+func NewHardwareRenderer(lib *gpu.Library, preserve bool) *HardwareRenderer {
+	return &HardwareRenderer{lib: lib, preserve: preserve}
+}
+
+// ensureContext performs conditional initialization: a context exists only
+// after the first draw that needs it.
+func (r *HardwareRenderer) ensureContext() *gpu.Context {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ctx == nil || r.ctx.Destroyed() {
+		r.ctx = r.lib.CreateContext(r.preserve)
+	}
+	r.enabled = true
+	return r.ctx
+}
+
+// Draw renders a frame, uploading cacheBytes of textures on first draw
+// after (re)initialization.
+func (r *HardwareRenderer) Draw(cacheBytes int64) error {
+	ctx := r.ensureContext()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cacheSize >= cacheBytes {
+		return nil // caches warm
+	}
+	id, err := ctx.AllocTexture(cacheBytes - r.cacheSize)
+	if err != nil {
+		return err
+	}
+	r.cacheIDs = append(r.cacheIDs, id)
+	r.cacheSize = cacheBytes
+	return nil
+}
+
+// startTrimMemory flushes the renderer's caches — step two of the cascade.
+func (r *HardwareRenderer) startTrimMemory() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ctx == nil || r.ctx.Destroyed() {
+		r.cacheIDs = nil
+		r.cacheSize = 0
+		return nil
+	}
+	for _, id := range r.cacheIDs {
+		if err := r.ctx.FreeTexture(id); err != nil {
+			return err
+		}
+	}
+	r.cacheIDs = nil
+	r.cacheSize = 0
+	return nil
+}
+
+// destroyHardwareResources tears down remaining GPU resources of the
+// renderer without touching the context itself.
+func (r *HardwareRenderer) destroyHardwareResources() error {
+	return r.startTrimMemory()
+}
+
+func (r *HardwareRenderer) disable() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.enabled = false
+}
+
+// endTrimMemory terminates the renderer's OpenGL context — step four.
+func (r *HardwareRenderer) endTrimMemory() error {
+	r.mu.Lock()
+	ctx := r.ctx
+	r.ctx = nil
+	r.mu.Unlock()
+	if ctx == nil || ctx.Destroyed() {
+		return nil
+	}
+	return ctx.Destroy(false)
+}
+
+// CacheBytes reports resident texture-cache bytes.
+func (r *HardwareRenderer) CacheBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cacheSize
+}
+
+// Enabled reports whether the renderer will draw.
+func (r *HardwareRenderer) Enabled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.enabled
+}
+
+// HasContext reports whether an EGL context is live.
+func (r *HardwareRenderer) HasContext() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctx != nil && !r.ctx.Destroyed()
+}
+
+// Window is one activity's window, provided by the WindowManager. It holds
+// the surface and view hierarchy.
+type Window struct {
+	mu      sync.Mutex
+	screen  Screen
+	surface *Surface
+	root    *ViewRoot
+}
+
+func newWindow(screen Screen, lib *gpu.Library, preserve bool, viewNames []string) *Window {
+	views := make([]*View, len(viewNames))
+	for i, n := range viewNames {
+		views[i] = &View{Name: n}
+	}
+	return &Window{
+		screen:  screen,
+		surface: &Surface{Screen: screen, Bytes: screen.PixelBytes()},
+		root: &ViewRoot{
+			views:    views,
+			canvas:   true,
+			renderer: NewHardwareRenderer(lib, preserve),
+		},
+	}
+}
+
+// Screen returns the geometry the window is laid out for.
+func (w *Window) Screen() Screen {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.screen
+}
+
+// Surface returns the window's pixel buffer, nil when destroyed.
+func (w *Window) Surface() *Surface {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.surface
+}
+
+// ViewRoot returns the window's view hierarchy root.
+func (w *Window) ViewRoot() *ViewRoot { return w.root }
+
+// destroySurface releases the pixel buffer (Stopped transition).
+func (w *Window) destroySurface() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.surface = nil
+}
+
+// recreateSurface rebuilds the pixel buffer for the (possibly new) screen.
+func (w *Window) recreateSurface(screen Screen) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.screen = screen
+	w.surface = &Surface{Screen: screen, Bytes: screen.PixelBytes()}
+}
+
+// Traverse performs a UI traversal: views that are invalid redraw through
+// the hardware renderer (allocating cacheBytes of textures) and the window
+// records the geometry it rendered for.
+func (w *Window) Traverse(cacheBytes int64) error {
+	w.mu.Lock()
+	if w.surface == nil {
+		w.mu.Unlock()
+		return fmt.Errorf("android: traversal without a surface")
+	}
+	screen := w.screen
+	w.mu.Unlock()
+
+	vr := w.root
+	dirty := false
+	vr.mu.Lock()
+	for _, v := range vr.views {
+		if !v.Valid {
+			dirty = true
+			break
+		}
+	}
+	if vr.destroyed {
+		vr.mu.Unlock()
+		return fmt.Errorf("android: traversal on destroyed ViewRoot")
+	}
+	vr.canvas = true
+	vr.mu.Unlock()
+
+	if dirty {
+		if err := vr.renderer.Draw(cacheBytes); err != nil {
+			return err
+		}
+		vr.mu.Lock()
+		for _, v := range vr.views {
+			v.Valid = true
+		}
+		vr.drawnFor = screen
+		vr.mu.Unlock()
+	}
+	return nil
+}

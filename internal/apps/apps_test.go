@@ -1,0 +1,139 @@
+package apps_test
+
+import (
+	"testing"
+
+	"flux/internal/apps"
+	"flux/internal/device"
+	"flux/internal/migration"
+	"flux/internal/pairing"
+)
+
+func TestCatalogMatchesTable3(t *testing.T) {
+	cat := apps.Catalog()
+	if len(cat) != 18 {
+		t.Fatalf("catalog has %d apps, want 18 (Table 3)", len(cat))
+	}
+	labels := map[string]bool{}
+	for _, a := range cat {
+		if a.Spec.Validate() != nil {
+			t.Errorf("%s: invalid spec", a.Spec.Package)
+		}
+		if a.Workload == "" || a.Run == nil {
+			t.Errorf("%s: missing workload", a.Spec.Package)
+		}
+		if a.APKMB <= 0 {
+			t.Errorf("%s: no APK size", a.Spec.Package)
+		}
+		labels[a.Spec.Label] = true
+	}
+	for _, want := range []string{"Bible", "Candy Crush Saga", "Subway Surfers", "Facebook", "WhatsApp", "ZEDGE"} {
+		if !labels[want] {
+			t.Errorf("Table 3 app %q missing", want)
+		}
+	}
+}
+
+func TestExactlyTwoNonMigratable(t *testing.T) {
+	cat := apps.Catalog()
+	migratable := apps.Migratable()
+	if got := len(cat) - len(migratable); got != 2 {
+		t.Fatalf("%d non-migratable apps, want 2 (Facebook, Subway Surfers)", got)
+	}
+	for _, a := range migratable {
+		if a.Spec.Package == "com.facebook.katana" || a.Spec.Package == "com.kiloo.subwaysurf" {
+			t.Errorf("%s listed as migratable", a.Spec.Package)
+		}
+	}
+}
+
+func TestByPackage(t *testing.T) {
+	if a := apps.ByPackage("com.whatsapp"); a == nil || a.Spec.Label != "WhatsApp" {
+		t.Errorf("ByPackage(whatsapp) = %+v", a)
+	}
+	if a := apps.ByPackage("no.such"); a != nil {
+		t.Errorf("ByPackage(unknown) = %+v", a)
+	}
+}
+
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, a := range apps.Catalog() {
+		a := a
+		t.Run(a.Spec.Label, func(t *testing.T) {
+			dev, err := device.New(device.Nexus4("home-" + a.Spec.Package))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := apps.Launch(dev, a)
+			if err != nil {
+				t.Fatalf("Launch: %v", err)
+			}
+			if s.App.MainActivity() == nil {
+				t.Fatal("no main activity")
+			}
+			// Workloads should generally leave recordable traces; a few
+			// (Flappy Bird) only touch audio, which is still recorded.
+			if entries := dev.Recorder.Log().AppEntries(a.Spec.Package); len(entries) == 0 &&
+				len(s.App.SavedState()) == 0 {
+				t.Error("workload left no trace at all")
+			}
+		})
+	}
+}
+
+// TestAllMigratableAppsMigrate is the paper's §4 headline: all Table 3 apps
+// except Facebook and Subway Surfers migrate, across a heterogeneous pair.
+func TestAllMigratableAppsMigrate(t *testing.T) {
+	for _, a := range apps.Migratable() {
+		a := a
+		t.Run(a.Spec.Label, func(t *testing.T) {
+			home, err := device.New(device.Nexus4("home"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			guest, err := device.New(device.Nexus7_2012("guest"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := apps.Install(home, a); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pairing.Pair(home, guest, []string{a.Spec.Package}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := apps.Launch(home, a); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := migration.New(home, guest, migration.Options{}).Migrate(a.Spec.Package)
+			if err != nil {
+				t.Fatalf("migrate: %v", err)
+			}
+			if !rep.StateConsistent() {
+				t.Errorf("state mismatch:\n before %v\n after  %v", rep.StateBefore, rep.StateAfter)
+			}
+			// Figure 15 scale: no app ships more than ~14 MB.
+			if rep.TransferredBytes > 15<<20 {
+				t.Errorf("transferred %d bytes, above the paper's 14 MB ceiling", rep.TransferredBytes)
+			}
+			if rep.TransferredBytes <= 0 {
+				t.Error("nothing transferred")
+			}
+		})
+	}
+}
+
+func TestMicrobenchOverheadNearUnity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	for _, b := range apps.Microbenches() {
+		res, err := apps.MeasureOverhead(device.Nexus4("bench"), b, 400)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if res.Normalized < 0.5 || res.Normalized > 2.0 {
+			t.Errorf("%s: normalized score %.2f wildly off unity (flux=%.0f aosp=%.0f)",
+				b.Name, res.Normalized, res.FluxScore, res.AOSPScore)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package binder
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Parcel is the unit of data exchanged in a Binder transaction. It mirrors
+// Android's Parcel: a flat, typed, append-only buffer that both sides read
+// and write in the same order. Parcels serialize to a self-describing binary
+// form so they can be persisted in the record log and shipped across devices
+// inside a checkpoint image.
+type Parcel struct {
+	entries []entry
+	rpos    int
+}
+
+type entryKind uint8
+
+const (
+	kindInt32 entryKind = iota + 1
+	kindInt64
+	kindFloat64
+	kindBool
+	kindString
+	kindBytes
+	kindHandle // a Binder object reference (per-process handle id)
+	kindFD     // a file descriptor number
+)
+
+func (k entryKind) String() string {
+	switch k {
+	case kindInt32:
+		return "int32"
+	case kindInt64:
+		return "int64"
+	case kindFloat64:
+		return "float64"
+	case kindBool:
+		return "bool"
+	case kindString:
+		return "string"
+	case kindBytes:
+		return "bytes"
+	case kindHandle:
+		return "handle"
+	case kindFD:
+		return "fd"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+type entry struct {
+	kind entryKind
+	i64  int64
+	f64  float64
+	str  string
+	b    []byte
+}
+
+// NewParcel returns an empty parcel ready for writing.
+func NewParcel() *Parcel { return &Parcel{} }
+
+// Len reports the number of entries written to the parcel.
+func (p *Parcel) Len() int { return len(p.entries) }
+
+// Reset rewinds the read cursor so the parcel can be re-read from the start.
+func (p *Parcel) Reset() { p.rpos = 0 }
+
+// Clone returns a deep copy of the parcel with the read cursor rewound.
+func (p *Parcel) Clone() *Parcel {
+	c := &Parcel{entries: make([]entry, len(p.entries))}
+	copy(c.entries, p.entries)
+	for i := range c.entries {
+		if c.entries[i].b != nil {
+			b := make([]byte, len(c.entries[i].b))
+			copy(b, c.entries[i].b)
+			c.entries[i].b = b
+		}
+	}
+	return c
+}
+
+func (p *Parcel) WriteInt32(v int32) {
+	p.entries = append(p.entries, entry{kind: kindInt32, i64: int64(v)})
+}
+func (p *Parcel) WriteInt64(v int64) { p.entries = append(p.entries, entry{kind: kindInt64, i64: v}) }
+func (p *Parcel) WriteFloat64(v float64) {
+	p.entries = append(p.entries, entry{kind: kindFloat64, f64: v})
+}
+func (p *Parcel) WriteBool(v bool) {
+	var i int64
+	if v {
+		i = 1
+	}
+	p.entries = append(p.entries, entry{kind: kindBool, i64: i})
+}
+func (p *Parcel) WriteString(v string) {
+	p.entries = append(p.entries, entry{kind: kindString, str: v})
+}
+func (p *Parcel) WriteBytes(v []byte) {
+	b := make([]byte, len(v))
+	copy(b, v)
+	p.entries = append(p.entries, entry{kind: kindBytes, b: b})
+}
+
+// WriteHandle appends a Binder object reference. The handle id is only
+// meaningful within the sending process; the driver translates it in flight.
+func (p *Parcel) WriteHandle(h Handle) {
+	p.entries = append(p.entries, entry{kind: kindHandle, i64: int64(h)})
+}
+
+// WriteFD appends a file descriptor number. Like handles, fds are
+// process-local; CRIA records them so restore can reserve the same numbers.
+func (p *Parcel) WriteFD(fd int) { p.entries = append(p.entries, entry{kind: kindFD, i64: int64(fd)}) }
+
+var errParcelExhausted = fmt.Errorf("binder: parcel exhausted")
+
+func (p *Parcel) next(k entryKind) (entry, error) {
+	if p.rpos >= len(p.entries) {
+		return entry{}, errParcelExhausted
+	}
+	e := p.entries[p.rpos]
+	if e.kind != k {
+		return entry{}, fmt.Errorf("binder: parcel type mismatch at %d: have %v, want %v", p.rpos, e.kind, k)
+	}
+	p.rpos++
+	return e, nil
+}
+
+func (p *Parcel) ReadInt32() (int32, error) {
+	e, err := p.next(kindInt32)
+	return int32(e.i64), err
+}
+
+func (p *Parcel) ReadInt64() (int64, error) {
+	e, err := p.next(kindInt64)
+	return e.i64, err
+}
+
+func (p *Parcel) ReadFloat64() (float64, error) {
+	e, err := p.next(kindFloat64)
+	return e.f64, err
+}
+
+func (p *Parcel) ReadBool() (bool, error) {
+	e, err := p.next(kindBool)
+	return e.i64 != 0, err
+}
+
+func (p *Parcel) ReadString() (string, error) {
+	e, err := p.next(kindString)
+	return e.str, err
+}
+
+func (p *Parcel) ReadBytes() ([]byte, error) {
+	e, err := p.next(kindBytes)
+	return e.b, err
+}
+
+func (p *Parcel) ReadHandle() (Handle, error) {
+	e, err := p.next(kindHandle)
+	return Handle(e.i64), err
+}
+
+func (p *Parcel) ReadFD() (int, error) {
+	e, err := p.next(kindFD)
+	return int(e.i64), err
+}
+
+// MustInt32 and friends are convenience accessors for service dispatch code
+// where a malformed parcel indicates a framework bug; they panic on error.
+func (p *Parcel) MustInt32() int32     { return must(p.ReadInt32()) }
+func (p *Parcel) MustInt64() int64     { return must(p.ReadInt64()) }
+func (p *Parcel) MustFloat64() float64 { return must(p.ReadFloat64()) }
+func (p *Parcel) MustBool() bool       { return must(p.ReadBool()) }
+func (p *Parcel) MustString() string   { return must(p.ReadString()) }
+func (p *Parcel) MustBytes() []byte    { return must(p.ReadBytes()) }
+func (p *Parcel) MustHandle() Handle   { return must(p.ReadHandle()) }
+func (p *Parcel) MustFD() int          { return must(p.ReadFD()) }
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Size returns the wire size of the parcel in bytes. The migration pipeline
+// uses it to account for record-log transfer volume.
+func (p *Parcel) Size() int {
+	n := 4 // entry count
+	for _, e := range p.entries {
+		n++ // kind tag
+		switch e.kind {
+		case kindInt32:
+			n += 4
+		case kindInt64, kindFloat64, kindHandle, kindFD:
+			n += 8
+		case kindBool:
+			n++
+		case kindString:
+			n += 4 + len(e.str)
+		case kindBytes:
+			n += 4 + len(e.b)
+		}
+	}
+	return n
+}
+
+// Marshal encodes the parcel to its wire form.
+func (p *Parcel) Marshal() []byte {
+	buf := make([]byte, 0, p.Size())
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.entries)))
+	for _, e := range p.entries {
+		buf = append(buf, byte(e.kind))
+		switch e.kind {
+		case kindInt32:
+			buf = binary.BigEndian.AppendUint32(buf, uint32(e.i64))
+		case kindInt64, kindHandle, kindFD:
+			buf = binary.BigEndian.AppendUint64(buf, uint64(e.i64))
+		case kindFloat64:
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(e.f64))
+		case kindBool:
+			b := byte(0)
+			if e.i64 != 0 {
+				b = 1
+			}
+			buf = append(buf, b)
+		case kindString:
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.str)))
+			buf = append(buf, e.str...)
+		case kindBytes:
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.b)))
+			buf = append(buf, e.b...)
+		}
+	}
+	return buf
+}
+
+// UnmarshalParcel decodes a parcel from its wire form.
+func UnmarshalParcel(data []byte) (*Parcel, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("binder: parcel truncated: %d bytes", len(data))
+	}
+	n := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	p := &Parcel{entries: make([]entry, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		if len(data) < 1 {
+			return nil, fmt.Errorf("binder: parcel truncated at entry %d", i)
+		}
+		k := entryKind(data[0])
+		data = data[1:]
+		var e entry
+		e.kind = k
+		switch k {
+		case kindInt32:
+			if len(data) < 4 {
+				return nil, fmt.Errorf("binder: parcel truncated int32 at entry %d", i)
+			}
+			e.i64 = int64(int32(binary.BigEndian.Uint32(data)))
+			data = data[4:]
+		case kindInt64, kindHandle, kindFD:
+			if len(data) < 8 {
+				return nil, fmt.Errorf("binder: parcel truncated int64 at entry %d", i)
+			}
+			e.i64 = int64(binary.BigEndian.Uint64(data))
+			data = data[8:]
+		case kindFloat64:
+			if len(data) < 8 {
+				return nil, fmt.Errorf("binder: parcel truncated float64 at entry %d", i)
+			}
+			e.f64 = math.Float64frombits(binary.BigEndian.Uint64(data))
+			data = data[8:]
+		case kindBool:
+			if len(data) < 1 {
+				return nil, fmt.Errorf("binder: parcel truncated bool at entry %d", i)
+			}
+			if data[0] != 0 {
+				e.i64 = 1
+			}
+			data = data[1:]
+		case kindString:
+			s, rest, err := readLenPrefixed(data, i)
+			if err != nil {
+				return nil, err
+			}
+			e.str = string(s)
+			data = rest
+		case kindBytes:
+			b, rest, err := readLenPrefixed(data, i)
+			if err != nil {
+				return nil, err
+			}
+			e.b = append([]byte(nil), b...)
+			data = rest
+		default:
+			return nil, fmt.Errorf("binder: parcel has unknown entry kind %d at entry %d", k, i)
+		}
+		p.entries = append(p.entries, e)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("binder: %d trailing bytes after parcel", len(data))
+	}
+	return p, nil
+}
+
+func readLenPrefixed(data []byte, i uint32) (payload, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("binder: parcel truncated length at entry %d", i)
+	}
+	l := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	if uint32(len(data)) < l {
+		return nil, nil, fmt.Errorf("binder: parcel truncated payload at entry %d: want %d, have %d", i, l, len(data))
+	}
+	return data[:l], data[l:], nil
+}
+
+// Handles returns the positions and values of all handle entries, used by
+// the driver to translate object references in flight and by CRIA to find
+// Binder dependencies buried in buffered transactions.
+func (p *Parcel) Handles() []Handle {
+	var hs []Handle
+	for _, e := range p.entries {
+		if e.kind == kindHandle {
+			hs = append(hs, Handle(e.i64))
+		}
+	}
+	return hs
+}
+
+// EntryString returns the canonical string form of the i-th entry,
+// independent of the read cursor. Selective Record compares these strings
+// when evaluating @if signatures.
+func (p *Parcel) EntryString(i int) (string, error) {
+	if i < 0 || i >= len(p.entries) {
+		return "", fmt.Errorf("binder: parcel has no entry %d (len %d)", i, len(p.entries))
+	}
+	e := p.entries[i]
+	switch e.kind {
+	case kindString:
+		return "s:" + e.str, nil
+	case kindBytes:
+		return fmt.Sprintf("b:%x", e.b), nil
+	case kindFloat64:
+		return fmt.Sprintf("f:%g", e.f64), nil
+	case kindBool:
+		if e.i64 != 0 {
+			return "t", nil
+		}
+		return "f", nil
+	case kindHandle:
+		return fmt.Sprintf("h:%d", e.i64), nil
+	case kindFD:
+		return fmt.Sprintf("fd:%d", e.i64), nil
+	default:
+		return fmt.Sprintf("i:%d", e.i64), nil
+	}
+}
+
+// String renders a compact human-readable description, used by fluxtrace.
+func (p *Parcel) String() string {
+	s := "["
+	for i, e := range p.entries {
+		if i > 0 {
+			s += " "
+		}
+		switch e.kind {
+		case kindString:
+			s += fmt.Sprintf("%q", e.str)
+		case kindBytes:
+			s += fmt.Sprintf("bytes(%d)", len(e.b))
+		case kindFloat64:
+			s += fmt.Sprintf("%g", e.f64)
+		case kindBool:
+			s += fmt.Sprintf("%t", e.i64 != 0)
+		case kindHandle:
+			s += fmt.Sprintf("h#%d", e.i64)
+		case kindFD:
+			s += fmt.Sprintf("fd:%d", e.i64)
+		default:
+			s += fmt.Sprintf("%d", e.i64)
+		}
+	}
+	return s + "]"
+}

@@ -1,0 +1,374 @@
+// Package cria implements Checkpoint/Restore In Android (paper §3.3): a
+// CRIU-style process checkpointer extended with the Android-specific state
+// Flux must carry across devices — the Binder handle table (classified into
+// context-manager, system-service, app-internal, and replay-restorable
+// references), the descriptor table, memory segments, the framework
+// runtime snapshot, and the pruned record log. Restore reconstructs the
+// process inside a private PID namespace so the app keeps its pids, injects
+// Binder references at their original handle ids (re-bound by name through
+// the guest's ServiceManager), and reserves descriptor numbers for the
+// replay proxies to fill.
+package cria
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"flux/internal/android"
+	"flux/internal/binder"
+	"flux/internal/kernel"
+	"flux/internal/record"
+)
+
+// HandleKind classifies one Binder reference in the checkpoint image.
+type HandleKind uint8
+
+const (
+	// HandleContextManager is the well-known handle 0.
+	HandleContextManager HandleKind = iota
+	// HandleSystemService references a ServiceManager-registered service;
+	// restore re-binds it by name on the guest.
+	HandleSystemService
+	// HandleInternal references a node owned by the app's own processes;
+	// restore re-publishes it.
+	HandleInternal
+	// HandleReplayRestorable references an unnamed system-owned node whose
+	// interface has replay-proxy support (SensorEventConnection); restore
+	// leaves the slot empty for the reintegration phase to fill.
+	HandleReplayRestorable
+)
+
+func (k HandleKind) String() string {
+	switch k {
+	case HandleContextManager:
+		return "context-manager"
+	case HandleSystemService:
+		return "system-service"
+	case HandleInternal:
+		return "internal"
+	case HandleReplayRestorable:
+		return "replay-restorable"
+	}
+	return fmt.Sprintf("handlekind(%d)", uint8(k))
+}
+
+// HandleRecord is one handle-table row in the image.
+type HandleRecord struct {
+	Handle      binder.Handle
+	Kind        HandleKind
+	ServiceName string // for HandleSystemService
+	Descriptor  string
+}
+
+// Image is a CRIA checkpoint: everything needed to reconstruct the app on
+// a paired guest device. It is gob-serializable; payload bytes of memory
+// segments are carried as (size, entropy) descriptors per the simulation's
+// substitution rule, with sizes accounted exactly.
+type Image struct {
+	Pkg            string
+	Spec           android.AppSpec
+	HomeDevice     string
+	CheckpointTime time.Time
+	VPID           int
+
+	Segments []kernel.MemSegment
+	FDs      []kernel.FD
+	Handles  []HandleRecord
+	Ashmem   []kernel.AshmemRegion
+	Runtime  android.RuntimeState
+
+	// RecordLog is the app's pruned Selective Record log (record.MarshalApp).
+	RecordLog []byte
+	// HomeVolumeSteps parameterizes the audio replay proxy.
+	HomeVolumeSteps int32
+}
+
+// ErrNonSystemConnection reports an app holding Binder connections to
+// non-system services; Flux refuses to migrate such apps (paper §3.3).
+var ErrNonSystemConnection = errors.New("cria: app holds Binder connection to a non-system service")
+
+// ErrMultiProcess reports a multi-process app with multi-process support
+// disabled (the paper's Facebook failure).
+var ErrMultiProcess = errors.New("cria: app runs multiple processes")
+
+// ErrProviderBusy reports an in-flight ContentProvider transaction.
+var ErrProviderBusy = errors.New("cria: app is mid-ContentProvider transaction")
+
+// ErrDeviceStateResident reports device-specific state that survived the
+// preparation phase; checkpointing would not be portable.
+var ErrDeviceStateResident = errors.New("cria: device-specific state still resident")
+
+// ErrCommonSDCard reports open files in the shared SD card area, which is
+// not migrated (paper §3.4: only app-specific SD directories travel).
+var ErrCommonSDCard = errors.New("cria: app holds open files on the common SD card area")
+
+// Options configures a checkpoint.
+type Options struct {
+	// HomeDevice names the device taking the checkpoint.
+	HomeDevice string
+	// ServiceManager resolves nodes to registered service names.
+	ServiceManager *binder.ServiceManager
+	// Recorder supplies the app's pruned call log.
+	Recorder *record.Recorder
+	// Now is the home device's virtual clock.
+	Now func() time.Time
+	// HomeVolumeSteps is the home audio step count.
+	HomeVolumeSteps int32
+	// ReplayRestorable lists interface descriptors whose unnamed system
+	// connections are rebuilt by replay proxies rather than checkpointed.
+	ReplayRestorable map[string]bool
+	// AllowMultiProcess enables process-tree checkpointing — the paper's
+	// future-work extension, off by default to match the evaluation.
+	AllowMultiProcess bool
+	// SystemPIDs identifies system-owned processes (system_server, pid 0)
+	// whose unnamed nodes may be replay-restorable.
+	SystemPIDs map[int]bool
+}
+
+// Checkpoint captures app into a portable image. The app must already have
+// gone through Flux's preparation phase (background → trim → eglUnload);
+// any device-specific residue fails the checkpoint.
+func Checkpoint(app *android.App, opts Options) (*Image, error) {
+	if opts.ServiceManager == nil || opts.Recorder == nil || opts.Now == nil {
+		return nil, fmt.Errorf("cria: ServiceManager, Recorder and Now are required")
+	}
+	procs := app.Processes()
+	if len(procs) > 1 && !opts.AllowMultiProcess {
+		return nil, fmt.Errorf("%w: %d processes", ErrMultiProcess, len(procs))
+	}
+	if app.ProviderBusy() {
+		return nil, ErrProviderBusy
+	}
+	if resident := app.DeviceSpecificResident(); len(resident) != 0 {
+		return nil, fmt.Errorf("%w: %v", ErrDeviceStateResident, resident)
+	}
+	if open := app.CommonSDFilesOpen(); len(open) != 0 {
+		return nil, fmt.Errorf("%w: %v", ErrCommonSDCard, open)
+	}
+
+	img := &Image{
+		Pkg:             app.Package(),
+		Spec:            app.Spec(),
+		HomeDevice:      opts.HomeDevice,
+		CheckpointTime:  opts.Now(),
+		VPID:            procs[0].PID(),
+		Runtime:         app.RuntimeState(),
+		HomeVolumeSteps: opts.HomeVolumeSteps,
+		RecordLog:       opts.Recorder.Log().MarshalApp(app.Package()),
+	}
+
+	appPIDs := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		appPIDs[p.PID()] = true
+	}
+	main := procs[0]
+	// Memory: heap and ashmem segments are checkpointed; code segments are
+	// file-backed (the pairing phase ships the files); graphics segments
+	// were freed by preparation (verified above).
+	for _, seg := range main.Segments() {
+		if seg.Kind == kernel.SegHeap || seg.Kind == kernel.SegAshmem {
+			img.Segments = append(img.Segments, seg)
+		}
+	}
+	for _, fd := range main.FDs() {
+		img.FDs = append(img.FDs, fd)
+	}
+	// Binder handle classification (paper Figure 11).
+	for _, he := range main.Binder().Handles() {
+		rec := HandleRecord{Handle: he.Handle, Descriptor: he.Descriptor}
+		switch {
+		case he.Handle == binder.ContextManagerHandle:
+			rec.Kind = HandleContextManager
+		case appPIDs[he.OwnerPID]:
+			rec.Kind = HandleInternal
+		default:
+			name := nameOf(opts.ServiceManager, he)
+			switch {
+			case name != "":
+				rec.Kind = HandleSystemService
+				rec.ServiceName = name
+			case opts.ReplayRestorable[he.Descriptor] && opts.SystemPIDs[he.OwnerPID]:
+				rec.Kind = HandleReplayRestorable
+			default:
+				return nil, fmt.Errorf("%w: handle %d → %s (owner pid %d)",
+					ErrNonSystemConnection, he.Handle, he.Descriptor, he.OwnerPID)
+			}
+		}
+		img.Handles = append(img.Handles, rec)
+	}
+	return img, nil
+}
+
+// nameOf resolves a handle entry's node to its ServiceManager name.
+func nameOf(sm *binder.ServiceManager, he binder.HandleEntry) string {
+	for _, name := range sm.Names() {
+		if node := sm.Lookup(name); node != nil && node.ID() == he.Node {
+			return name
+		}
+	}
+	return ""
+}
+
+// PayloadBytes is the raw size of checkpointed memory.
+func (img *Image) PayloadBytes() int64 {
+	var n int64
+	for _, s := range img.Segments {
+		n += s.Size
+	}
+	return n
+}
+
+// CompressedPayloadBytes is the memory payload's wire size after DEFLATE.
+func (img *Image) CompressedPayloadBytes() int64 {
+	var n int64
+	for _, s := range img.Segments {
+		n += s.CompressedSize()
+	}
+	return n
+}
+
+// Marshal serializes the image metadata (gob) and compresses it. The
+// returned wire size excludes the memory payload, which the migration
+// pipeline accounts separately via CompressedPayloadBytes.
+func (img *Image) Marshal() ([]byte, error) {
+	var raw bytes.Buffer
+	if err := gob.NewEncoder(&raw).Encode(img); err != nil {
+		return nil, fmt.Errorf("cria: encoding image: %w", err)
+	}
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(raw.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Unmarshal decodes an image produced by Marshal.
+func Unmarshal(data []byte) (*Image, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("cria: decompressing image: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	var img Image
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("cria: decoding image: %w", err)
+	}
+	return &img, nil
+}
+
+// WireBytes is the image's total transfer size: compressed metadata +
+// compressed memory payload + record log.
+func (img *Image) WireBytes() (int64, error) {
+	meta, err := img.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(meta)) + img.CompressedPayloadBytes() + int64(len(img.RecordLog)), nil
+}
+
+// RestoreOptions configures a restore.
+type RestoreOptions struct {
+	// Runtime is the guest device's framework runtime.
+	Runtime *android.Runtime
+	// Entries returns the deserialized record log (for callers that have
+	// already parsed it); nil means parse from the image.
+	Entries []*record.Entry
+}
+
+// Restored bundles the outcome of a restore.
+type Restored struct {
+	App     *android.App
+	Entries []*record.Entry
+	// PendingHandles are the replay-restorable slots the reintegration
+	// phase must fill (sorted by handle id).
+	PendingHandles []HandleRecord
+}
+
+// Restore reconstructs the checkpointed app on the guest device: private
+// PID namespace, memory map, descriptor table, and Binder handles re-bound
+// to the guest's services at their original ids. Graphics state is not
+// restored; conditional initialization rebuilds it at foreground time.
+func Restore(img *Image, opts RestoreOptions) (*Restored, error) {
+	if opts.Runtime == nil {
+		return nil, fmt.Errorf("cria: RestoreOptions.Runtime is required")
+	}
+	ns := kernel.NewPIDNamespace("wrapper:" + img.Pkg)
+	app, err := opts.Runtime.RestoreApp(android.RestoreOptions{
+		Spec:      img.Spec,
+		State:     img.Runtime,
+		Namespace: ns,
+		VPID:      img.VPID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	proc := app.Process()
+	// Memory: replace the default mappings with the checkpointed set plus
+	// the file-backed code mapping (supplied by pairing).
+	proc.UnmapSegments(func(s kernel.MemSegment) bool { return s.Kind == kernel.SegHeap })
+	for _, seg := range img.Segments {
+		proc.MapSegment(seg)
+	}
+	// Descriptors: restore every number exactly; replay proxies dup2 fresh
+	// channels onto these reservations.
+	for _, fd := range img.FDs {
+		if err := proc.OpenFDAt(fd.Num, fd.Kind, fd.Path); err != nil {
+			return nil, fmt.Errorf("cria: restoring fd %d: %w", fd.Num, err)
+		}
+	}
+	// Binder handles.
+	var pending []HandleRecord
+	bp := proc.Binder()
+	for _, h := range img.Handles {
+		switch h.Kind {
+		case HandleContextManager:
+			// Installed by OpenProc.
+		case HandleSystemService:
+			node := opts.Runtime.Kernel().Binder().ServiceManager().Lookup(h.ServiceName)
+			if node == nil {
+				return nil, fmt.Errorf("cria: guest has no service %q for handle %d", h.ServiceName, h.Handle)
+			}
+			if err := bp.InjectRef(h.Handle, node); err != nil {
+				return nil, fmt.Errorf("cria: re-binding %q: %w", h.ServiceName, err)
+			}
+		case HandleInternal:
+			// Re-publish the app's own Binder object. Its behaviour lives in
+			// checkpointed app memory; the simulation stands it up as a node
+			// with the original descriptor (see DESIGN.md substitutions).
+			node, err := bp.Publish(h.Descriptor, binder.TransactorFunc(func(call *binder.Call) error {
+				return nil
+			}))
+			if err != nil {
+				return nil, err
+			}
+			if err := bp.InjectRef(h.Handle, node); err != nil {
+				return nil, fmt.Errorf("cria: restoring internal handle %d: %w", h.Handle, err)
+			}
+		case HandleReplayRestorable:
+			pending = append(pending, h)
+		}
+	}
+	entries := opts.Entries
+	if entries == nil {
+		entries, err = record.UnmarshalEntries(img.RecordLog)
+		if err != nil {
+			return nil, fmt.Errorf("cria: record log: %w", err)
+		}
+	}
+	return &Restored{App: app, Entries: entries, PendingHandles: pending}, nil
+}

@@ -1,0 +1,187 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flux/internal/apps"
+	"flux/internal/experiments"
+	"flux/internal/migration"
+)
+
+// matrix is computed once; the figures are different projections of it.
+var matrix []experiments.Cell
+
+func getMatrix(t *testing.T) []experiments.Cell {
+	t.Helper()
+	if matrix == nil {
+		cells, err := experiments.RunMatrix()
+		if err != nil {
+			t.Fatalf("RunMatrix: %v", err)
+		}
+		matrix = cells
+	}
+	return matrix
+}
+
+func TestMatrixCovers64Migrations(t *testing.T) {
+	cells := getMatrix(t)
+	if len(cells) != 64 {
+		t.Fatalf("matrix has %d cells, want 64 (16 apps x 4 pairs)", len(cells))
+	}
+	for _, c := range cells {
+		if !c.Report.StateConsistent() {
+			t.Errorf("%s / %s: inconsistent state", c.App.Spec.Label, c.Pair.Name)
+		}
+	}
+}
+
+func TestHeadlineShapes(t *testing.T) {
+	cells := getMatrix(t)
+	var totalSec, xferFrac float64
+	var maxWire int64
+	slowPairTotal, fastPairTotal := 0.0, 0.0
+	for _, c := range cells {
+		totalSec += c.Report.Timings.Total().Seconds()
+		xferFrac += float64(c.Report.Timings[migration.StageTransfer]) / float64(c.Report.Timings.Total())
+		if c.Report.TransferredBytes > maxWire {
+			maxWire = c.Report.TransferredBytes
+		}
+		switch c.Pair.Name {
+		case "Nexus 7 to Nexus 4":
+			slowPairTotal += c.Report.Timings.Total().Seconds()
+		case "Nexus 7 (2013) to Nexus 7 (2013)":
+			fastPairTotal += c.Report.Timings.Total().Seconds()
+		}
+	}
+	n := float64(len(cells))
+	avg := totalSec / n
+	// Paper: 7.88 s average. Accept the right order of magnitude.
+	if avg < 2 || avg > 16 {
+		t.Errorf("average migration = %.2f s, paper reports 7.88 s", avg)
+	}
+	// Paper: over half the time is transfer.
+	if xferFrac/n < 0.5 {
+		t.Errorf("transfer share = %.2f, paper reports >0.5", xferFrac/n)
+	}
+	// Paper: no migration moved more than 14 MB.
+	if maxWire > 15<<20 {
+		t.Errorf("max transfer = %d bytes, paper caps at 14 MB", maxWire)
+	}
+	// The congested Nexus 7 (2012) pair must be slower than the 2013 pair.
+	if slowPairTotal <= fastPairTotal {
+		t.Errorf("N7→N4 total %.1f s not slower than N7'13 pair %.1f s", slowPairTotal, fastPairTotal)
+	}
+}
+
+func TestTransferCorrelatesWithAppSize(t *testing.T) {
+	cells := getMatrix(t)
+	// Spearman-ish check: the biggest app (Bubble Witch) must transfer more
+	// than the smallest (Flappy Bird) on every pair.
+	big, small := map[string]int64{}, map[string]int64{}
+	for _, c := range cells {
+		switch c.App.Spec.Label {
+		case "Bubble Witch Saga":
+			big[c.Pair.Name] = c.Report.TransferredBytes
+		case "Flappy Bird":
+			small[c.Pair.Name] = c.Report.TransferredBytes
+		}
+	}
+	for pair, b := range big {
+		if s, ok := small[pair]; !ok || b <= s {
+			t.Errorf("%s: big app %d <= small app %d", pair, b, s)
+		}
+	}
+}
+
+func TestExcludingTransferBelowUserPerceived(t *testing.T) {
+	for _, c := range getMatrix(t) {
+		tt := c.Report.Timings
+		if tt.ExcludingTransfer() > tt.UserPerceived() {
+			t.Fatalf("%s: excl-transfer %.2fs > user-perceived %.2fs",
+				c.App.Spec.Label, tt.ExcludingTransfer().Seconds(), tt.UserPerceived().Seconds())
+		}
+		if tt.ExcludingTransfer() <= 0 {
+			t.Fatalf("%s: zero excl-transfer time", c.App.Spec.Label)
+		}
+	}
+}
+
+func TestFigureRenderers(t *testing.T) {
+	cells := getMatrix(t)
+	var buf bytes.Buffer
+	if err := experiments.Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	experiments.Table3(&buf)
+	experiments.Figure12(&buf, cells)
+	experiments.Figure13(&buf, cells)
+	experiments.Figure14(&buf, cells)
+	experiments.Figure15(&buf, cells)
+	experiments.Figure17(&buf, 20000)
+	experiments.Summary(&buf, cells)
+	out := buf.String()
+	for _, want := range []string{
+		"Table 2", "IAlarmManager", "Table 3", "Candy Crush Saga",
+		"Figure 12", "Figure 13", "XFER", "Figure 14", "Figure 15",
+		"Figure 17", "setPreserveEGLContextOnPause",
+		"avg migration time",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestPairingCostRenderer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := experiments.PairingCost(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compressed delta") {
+		t.Errorf("output = %s", buf.String())
+	}
+}
+
+func TestFailuresRenderer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := experiments.Failures(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Facebook") || !strings.Contains(out, "Subway Surfers") {
+		t.Errorf("failures output = %s", out)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	var buf bytes.Buffer
+	candy := apps.ByPackage("com.king.candycrushsaga")
+	if err := experiments.AblationSelectiveVsFull(&buf, *candy); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.AblationPrep(&buf, *candy); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.AblationLinkDest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "selective") || !strings.Contains(out, "discarded") || !strings.Contains(out, "link-dest") {
+		t.Errorf("ablation output = %s", out)
+	}
+}
+
+func TestFigure16SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	var buf bytes.Buffer
+	if err := experiments.Figure16(&buf, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SunSpider") {
+		t.Errorf("figure 16 output = %s", buf.String())
+	}
+}

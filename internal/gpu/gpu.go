@@ -1,0 +1,240 @@
+// Package gpu models the graphics stack Flux must neutralize before a
+// checkpoint: the generic OpenGL ES library, the device-specific vendor
+// library beneath it, EGL contexts, and the hardware resources (textures,
+// shaders, command buffers) they pin in physically contiguous memory.
+//
+// The paper's CRIA never checkpoints GPU state. Instead it proves all of it
+// can be *discarded* on the home device (background → trim-memory →
+// eglUnload) and reconstructed on the guest through Android's conditional
+// initialization. This package therefore tracks exactly which state is
+// device-specific so tests — and the checkpointer — can verify none of it
+// survives preparation. The one documented exception is also modelled:
+// contexts created with setPreserveEGLContextOnPause refuse destruction,
+// which is why Subway Surfers cannot migrate.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"flux/internal/kernel"
+)
+
+// Hardware describes a device's GPU, part of the device model (Adreno 320,
+// ULP GeForce, ...). VendorBlob stands in for the vendor driver's opaque
+// initialization state; it differs across GPUs, which is what makes raw
+// GL-state migration impossible.
+type Hardware struct {
+	Model      string
+	VendorLib  string
+	VendorBlob string
+}
+
+// Adreno320 is the GPU of the Nexus 4 and Nexus 7 (2013).
+func Adreno320() Hardware {
+	return Hardware{Model: "Adreno 320", VendorLib: "libGLESv2_adreno.so", VendorBlob: "qcom-adreno320-fw"}
+}
+
+// ULPGeForce is the GPU of the Nexus 7 (2012) Tegra 3.
+func ULPGeForce() Hardware {
+	return Hardware{Model: "ULP GeForce", VendorLib: "libGLESv2_tegra.so", VendorBlob: "nvidia-tegra3-fw"}
+}
+
+// ErrContextPreserved is returned when unloading is blocked by a context
+// whose owner requested EGL-context preservation on pause.
+var ErrContextPreserved = errors.New("gpu: EGL context is preserved on pause")
+
+// Library is one process's view of the OpenGL ES stack: the generic library
+// (always linked) plus the lazily loaded vendor library.
+type Library struct {
+	hw   Hardware
+	pmem *kernel.PmemDriver
+	pid  int
+
+	mu           sync.Mutex
+	vendorLoaded bool
+	nextCtx      int
+	contexts     map[int]*Context
+}
+
+// Context is one EGL context with its hardware resources.
+type Context struct {
+	ID        int
+	Preserved bool // setPreserveEGLContextOnPause
+
+	mu        sync.Mutex
+	destroyed bool
+	textures  map[int]texture
+	nextTex   int
+	lib       *Library
+}
+
+type texture struct {
+	size   int64
+	pmemID int
+}
+
+// NewLibrary links the generic GL library into a process.
+func NewLibrary(hw Hardware, pmem *kernel.PmemDriver, pid int) *Library {
+	return &Library{hw: hw, pmem: pmem, pid: pid, nextCtx: 1, contexts: make(map[int]*Context)}
+}
+
+// Hardware returns the GPU this library drives.
+func (l *Library) Hardware() Hardware { return l.hw }
+
+// VendorLoaded reports whether device-specific vendor state is resident —
+// the state eglUnload exists to remove.
+func (l *Library) VendorLoaded() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.vendorLoaded
+}
+
+// CreateContext initializes EGL (loading the vendor library on first use,
+// Android's conditional initialization) and returns a fresh context.
+func (l *Library) CreateContext(preserve bool) *Context {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.vendorLoaded = true
+	c := &Context{ID: l.nextCtx, Preserved: preserve, textures: make(map[int]texture), nextTex: 1, lib: l}
+	l.nextCtx++
+	l.contexts[c.ID] = c
+	return c
+}
+
+// Contexts returns the live contexts.
+func (l *Library) Contexts() []*Context {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Context, 0, len(l.contexts))
+	for _, c := range l.contexts {
+		out = append(out, c)
+	}
+	return out
+}
+
+// AllocTexture uploads a texture of the given size, pinning contiguous
+// memory through pmem.
+func (c *Context) AllocTexture(size int64) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.destroyed {
+		return 0, fmt.Errorf("gpu: texture upload on destroyed context %d", c.ID)
+	}
+	pmemID, err := c.lib.pmem.Alloc(size, c.lib.pid)
+	if err != nil {
+		return 0, err
+	}
+	id := c.nextTex
+	c.nextTex++
+	c.textures[id] = texture{size: size, pmemID: pmemID}
+	return id, nil
+}
+
+// FreeTexture releases one texture.
+func (c *Context) FreeTexture(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tex, ok := c.textures[id]
+	if !ok {
+		return fmt.Errorf("gpu: context %d has no texture %d", c.ID, id)
+	}
+	delete(c.textures, id)
+	return c.lib.pmem.Free(tex.pmemID)
+}
+
+// ResidentBytes sums the context's pinned texture memory.
+func (c *Context) ResidentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, t := range c.textures {
+		n += t.size
+	}
+	return n
+}
+
+// Destroyed reports whether the context has been torn down.
+func (c *Context) Destroyed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.destroyed
+}
+
+// Destroy releases the context and all its resources. Preserved contexts
+// refuse unless force is set (the app itself tearing down at exit).
+func (c *Context) Destroy(force bool) error {
+	c.mu.Lock()
+	if c.destroyed {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.Preserved && !force {
+		c.mu.Unlock()
+		return ErrContextPreserved
+	}
+	c.destroyed = true
+	texs := c.textures
+	c.textures = map[int]texture{}
+	c.mu.Unlock()
+
+	for _, t := range texs {
+		if err := c.lib.pmem.Free(t.pmemID); err != nil {
+			return err
+		}
+	}
+	l := c.lib
+	l.mu.Lock()
+	delete(l.contexts, c.ID)
+	l.mu.Unlock()
+	return nil
+}
+
+// TerminateAll destroys every non-preserved context, mirroring
+// WindowManager.endTrimMemory terminating OpenGL contexts. It returns
+// ErrContextPreserved if any context survives.
+func (l *Library) TerminateAll() error {
+	var preserved bool
+	for _, c := range l.Contexts() {
+		switch err := c.Destroy(false); {
+		case errors.Is(err, ErrContextPreserved):
+			preserved = true
+		case err != nil:
+			return err
+		}
+	}
+	if preserved {
+		return ErrContextPreserved
+	}
+	return nil
+}
+
+// EGLUnload is Flux's extension to the native OpenGL library (paper §3.3):
+// after the HardwareRenderer terminates, it unloads the vendor-specific
+// library entirely so no device-tied state remains in the process. It fails
+// while any context is live.
+func (l *Library) EGLUnload() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.contexts) > 0 {
+		return fmt.Errorf("gpu: eglUnload with %d live contexts", len(l.contexts))
+	}
+	l.vendorLoaded = false
+	return nil
+}
+
+// DeviceSpecificResident describes vendor state still resident in the
+// process; a checkpoint taken while this is non-empty would not restore on
+// different hardware. Empty string means clean.
+func (l *Library) DeviceSpecificResident() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.contexts) > 0 {
+		return fmt.Sprintf("%d EGL contexts on %s", len(l.contexts), l.hw.Model)
+	}
+	if l.vendorLoaded {
+		return fmt.Sprintf("vendor library %s (%s)", l.hw.VendorLib, l.hw.VendorBlob)
+	}
+	return ""
+}

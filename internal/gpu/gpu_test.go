@@ -1,0 +1,170 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"flux/internal/kernel"
+)
+
+func newLib(t *testing.T) (*Library, *kernel.PmemDriver) {
+	t.Helper()
+	k := kernel.New("3.4")
+	return NewLibrary(Adreno320(), k.Pmem, 100), k.Pmem
+}
+
+func TestConditionalVendorLoad(t *testing.T) {
+	lib, _ := newLib(t)
+	if lib.VendorLoaded() {
+		t.Error("vendor library loaded before first context")
+	}
+	c := lib.CreateContext(false)
+	if !lib.VendorLoaded() {
+		t.Error("vendor library not loaded by CreateContext")
+	}
+	if err := c.Destroy(false); err != nil {
+		t.Fatal(err)
+	}
+	if !lib.VendorLoaded() {
+		t.Error("context destruction alone must not unload the vendor library")
+	}
+}
+
+func TestTexturesPinPmem(t *testing.T) {
+	lib, pmem := newLib(t)
+	c := lib.CreateContext(false)
+	id, err := c.AllocTexture(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pmem.UsedBy(100); got != 8<<20 {
+		t.Errorf("pmem used = %d", got)
+	}
+	if got := c.ResidentBytes(); got != 8<<20 {
+		t.Errorf("resident = %d", got)
+	}
+	if err := c.FreeTexture(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FreeTexture(id); err == nil {
+		t.Error("double free succeeded")
+	}
+	if got := pmem.UsedBy(100); got != 0 {
+		t.Errorf("pmem used after free = %d", got)
+	}
+}
+
+func TestDestroyReleasesPmem(t *testing.T) {
+	lib, pmem := newLib(t)
+	c := lib.CreateContext(false)
+	if _, err := c.AllocTexture(4 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocTexture(2 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Destroy(false); err != nil {
+		t.Fatal(err)
+	}
+	if got := pmem.UsedBy(100); got != 0 {
+		t.Errorf("pmem used after context destroy = %d", got)
+	}
+	if !c.Destroyed() {
+		t.Error("context not marked destroyed")
+	}
+	if _, err := c.AllocTexture(1); err == nil {
+		t.Error("texture upload on destroyed context succeeded")
+	}
+	if err := c.Destroy(false); err != nil {
+		t.Errorf("double destroy: %v", err)
+	}
+}
+
+func TestPreservedContextBlocksDestroy(t *testing.T) {
+	lib, _ := newLib(t)
+	c := lib.CreateContext(true) // Subway Surfers
+	if err := c.Destroy(false); !errors.Is(err, ErrContextPreserved) {
+		t.Errorf("Destroy = %v, want ErrContextPreserved", err)
+	}
+	if err := lib.TerminateAll(); !errors.Is(err, ErrContextPreserved) {
+		t.Errorf("TerminateAll = %v, want ErrContextPreserved", err)
+	}
+	if err := c.Destroy(true); err != nil {
+		t.Errorf("forced Destroy = %v", err)
+	}
+}
+
+func TestEGLUnload(t *testing.T) {
+	lib, _ := newLib(t)
+	c := lib.CreateContext(false)
+	if err := lib.EGLUnload(); err == nil {
+		t.Error("eglUnload with live context succeeded")
+	}
+	if err := c.Destroy(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.EGLUnload(); err != nil {
+		t.Fatalf("eglUnload: %v", err)
+	}
+	if lib.VendorLoaded() {
+		t.Error("vendor library survived eglUnload")
+	}
+}
+
+func TestDeviceSpecificResident(t *testing.T) {
+	lib, _ := newLib(t)
+	if got := lib.DeviceSpecificResident(); got != "" {
+		t.Errorf("fresh library resident = %q", got)
+	}
+	c := lib.CreateContext(false)
+	if got := lib.DeviceSpecificResident(); got == "" {
+		t.Error("live context not reported as device-specific state")
+	}
+	c.Destroy(false)
+	if got := lib.DeviceSpecificResident(); got == "" {
+		t.Error("loaded vendor library not reported as device-specific state")
+	}
+	lib.EGLUnload()
+	if got := lib.DeviceSpecificResident(); got != "" {
+		t.Errorf("resident after full teardown = %q", got)
+	}
+}
+
+func TestTerminateAllDestroysEverything(t *testing.T) {
+	lib, pmem := newLib(t)
+	for i := 0; i < 3; i++ {
+		c := lib.CreateContext(false)
+		if _, err := c.AllocTexture(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lib.TerminateAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(lib.Contexts()); got != 0 {
+		t.Errorf("contexts after TerminateAll = %d", got)
+	}
+	if got := pmem.UsedBy(100); got != 0 {
+		t.Errorf("pmem after TerminateAll = %d", got)
+	}
+}
+
+func TestHardwareModels(t *testing.T) {
+	a, n := Adreno320(), ULPGeForce()
+	if a.Model == n.Model || a.VendorBlob == n.VendorBlob {
+		t.Error("GPU models are not distinguishable")
+	}
+	lib := NewLibrary(n, kernel.New("3.1").Pmem, 1)
+	if lib.Hardware().Model != "ULP GeForce" {
+		t.Errorf("Hardware = %+v", lib.Hardware())
+	}
+}
+
+func TestPmemExhaustionSurfacesError(t *testing.T) {
+	k := kernel.New("3.4")
+	lib := NewLibrary(Adreno320(), k.Pmem, 100)
+	c := lib.CreateContext(false)
+	if _, err := c.AllocTexture(1 << 40); err == nil {
+		t.Error("absurd texture allocation succeeded")
+	}
+}

@@ -1,0 +1,122 @@
+package kernel
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the device's virtual time source. All timing in the simulation —
+// alarm expiry, migration stage durations, checkpoint timestamps — is driven
+// by virtual time so experiments are deterministic and tests never sleep.
+type Clock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*timer
+	nextID int
+}
+
+type timer struct {
+	id   int
+	when time.Time
+	fn   func(now time.Time)
+}
+
+// Epoch is the virtual boot instant of every simulated device.
+var Epoch = time.Date(2015, time.April, 21, 9, 0, 0, 0, time.UTC)
+
+// NewClock returns a clock set to Epoch.
+func NewClock() *Clock { return &Clock{now: Epoch} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc schedules fn to run when virtual time reaches now+d. It returns
+// a cancel function. fn runs synchronously inside Advance.
+func (c *Clock) AfterFunc(d time.Duration, fn func(now time.Time)) (cancel func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.atLocked(c.now.Add(d), fn)
+}
+
+// At schedules fn for an absolute virtual instant. Instants in the past fire
+// on the next Advance (even Advance(0)).
+func (c *Clock) At(when time.Time, fn func(now time.Time)) (cancel func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.atLocked(when, fn)
+}
+
+func (c *Clock) atLocked(when time.Time, fn func(now time.Time)) (cancel func()) {
+	t := &timer{id: c.nextID, when: when, fn: fn}
+	c.nextID++
+	c.timers = append(c.timers, t)
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for i, have := range c.timers {
+			if have.id == t.id {
+				c.timers = append(c.timers[:i], c.timers[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Advance moves virtual time forward by d, firing due timers in time order.
+// Timers scheduled by running timers also fire if they fall within the
+// window, so chained alarms behave like the real alarm driver.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		idx := -1
+		for i, t := range c.timers {
+			if t.when.After(target) {
+				continue
+			}
+			if idx == -1 || t.when.Before(c.timers[idx].when) ||
+				(t.when.Equal(c.timers[idx].when) && t.id < c.timers[idx].id) {
+				idx = i
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		t := c.timers[idx]
+		c.timers = append(c.timers[:idx], c.timers[idx+1:]...)
+		if t.when.After(c.now) {
+			c.now = t.when
+		}
+		fireAt := c.now
+		c.mu.Unlock()
+		t.fn(fireAt)
+		c.mu.Lock()
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+// PendingTimers reports how many timers are scheduled, for tests.
+func (c *Clock) PendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// NextDeadlines returns scheduled timer instants, soonest first, for tests
+// and for CRIA's alarm-state inspection.
+func (c *Clock) NextDeadlines() []time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Time, len(c.timers))
+	for i, t := range c.timers {
+		out[i] = t.when
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

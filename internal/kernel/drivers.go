@@ -1,0 +1,326 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// ashmem — Android's named shared memory driver. The paper notes Dalvik was
+// the main ashmem user and Flux modified it to use mmap instead; the driver
+// is still modelled so CRIA can assert no app-held ashmem regions remain at
+// checkpoint time (and checkpoint them if they do).
+
+// AshmemRegion is one named shared-memory region.
+type AshmemRegion struct {
+	Name   string
+	Size   int64
+	Owner  int // creating pid
+	Pinned bool
+}
+
+// AshmemDriver manages ashmem regions.
+type AshmemDriver struct {
+	mu      sync.Mutex
+	regions map[string]*AshmemRegion
+}
+
+func newAshmemDriver() *AshmemDriver {
+	return &AshmemDriver{regions: make(map[string]*AshmemRegion)}
+}
+
+// Create allocates a named region owned by pid.
+func (d *AshmemDriver) Create(name string, size int64, pid int) (*AshmemRegion, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.regions[name]; ok {
+		return nil, fmt.Errorf("ashmem: region %q exists", name)
+	}
+	r := &AshmemRegion{Name: name, Size: size, Owner: pid, Pinned: true}
+	d.regions[name] = r
+	return r, nil
+}
+
+// Release removes a region.
+func (d *AshmemDriver) Release(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.regions[name]; !ok {
+		return fmt.Errorf("ashmem: region %q not found", name)
+	}
+	delete(d.regions, name)
+	return nil
+}
+
+// RegionsOwnedBy lists regions created by pid, sorted by name.
+func (d *AshmemDriver) RegionsOwnedBy(pid int) []AshmemRegion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []AshmemRegion
+	for _, r := range d.regions {
+		if r.Owner == pid {
+			out = append(out, *r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// pmem — physically contiguous allocator used by devices like the GPU.
+// CRIA support is unnecessary because prep frees all graphics resources
+// first; the driver exists so tests can verify the pool is drained.
+
+// PmemDriver is a bump allocator over a fixed physically contiguous pool.
+type PmemDriver struct {
+	mu     sync.Mutex
+	total  int64
+	used   int64
+	allocs map[int]pmemAlloc
+	nextID int
+}
+
+type pmemAlloc struct {
+	size  int64
+	owner int
+}
+
+func newPmemDriver(total int64) *PmemDriver {
+	return &PmemDriver{total: total, allocs: make(map[int]pmemAlloc), nextID: 1}
+}
+
+// Alloc reserves size bytes for pid, returning an allocation id.
+func (d *PmemDriver) Alloc(size int64, pid int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.used+size > d.total {
+		return 0, fmt.Errorf("pmem: out of contiguous memory (%d used of %d, want %d)", d.used, d.total, size)
+	}
+	id := d.nextID
+	d.nextID++
+	d.allocs[id] = pmemAlloc{size: size, owner: pid}
+	d.used += size
+	return id, nil
+}
+
+// Free releases an allocation.
+func (d *PmemDriver) Free(id int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, ok := d.allocs[id]
+	if !ok {
+		return fmt.Errorf("pmem: allocation %d not found", id)
+	}
+	d.used -= a.size
+	delete(d.allocs, id)
+	return nil
+}
+
+// FreeOwnedBy releases all allocations owned by pid, returning bytes freed.
+func (d *PmemDriver) FreeOwnedBy(pid int) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var freed int64
+	for id, a := range d.allocs {
+		if a.owner == pid {
+			freed += a.size
+			d.used -= a.size
+			delete(d.allocs, id)
+		}
+	}
+	return freed
+}
+
+// UsedBy reports bytes held by pid.
+func (d *PmemDriver) UsedBy(pid int) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, a := range d.allocs {
+		if a.owner == pid {
+			n += a.size
+		}
+	}
+	return n
+}
+
+// Used reports total bytes allocated.
+func (d *PmemDriver) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// ---------------------------------------------------------------------------
+// Logger — Android's ring-buffer log device. Used like a regular file and
+// holds no per-process state, which is why CRIA needs almost no support for
+// it (paper §3.3); the model exists to prove that property in tests.
+
+// LogEntry is one logged line.
+type LogEntry struct {
+	PID int
+	Tag string
+	Msg string
+}
+
+// LoggerDriver is a fixed-capacity ring buffer of log entries.
+type LoggerDriver struct {
+	mu      sync.Mutex
+	cap     int
+	entries []LogEntry
+	dropped int64
+}
+
+func newLoggerDriver(capacity int) *LoggerDriver {
+	return &LoggerDriver{cap: capacity}
+}
+
+// Write appends an entry, evicting the oldest when full.
+func (d *LoggerDriver) Write(pid int, tag, msg string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.entries) == d.cap {
+		d.entries = d.entries[1:]
+		d.dropped++
+	}
+	d.entries = append(d.entries, LogEntry{PID: pid, Tag: tag, Msg: msg})
+}
+
+// Tail returns up to n most recent entries.
+func (d *LoggerDriver) Tail(n int) []LogEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n > len(d.entries) {
+		n = len(d.entries)
+	}
+	out := make([]LogEntry, n)
+	copy(out, d.entries[len(d.entries)-n:])
+	return out
+}
+
+// Dropped reports how many entries the ring has evicted.
+func (d *LoggerDriver) Dropped() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
+}
+
+// ---------------------------------------------------------------------------
+// Wakelocks — power management. Held only by system services in Android, so
+// CRIA never checkpoints them; Selective Record/Adaptive Replay carries the
+// app-visible effects instead (paper §3.3).
+
+// WakelockDriver tracks named reference-counted wakelocks.
+type WakelockDriver struct {
+	mu    sync.Mutex
+	locks map[string]int
+}
+
+func newWakelockDriver() *WakelockDriver {
+	return &WakelockDriver{locks: make(map[string]int)}
+}
+
+// Acquire increments the named lock.
+func (d *WakelockDriver) Acquire(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.locks[name]++
+}
+
+// Release decrements the named lock, removing it at zero.
+func (d *WakelockDriver) Release(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.locks[name]
+	if !ok {
+		return fmt.Errorf("wakelock: release of unheld lock %q", name)
+	}
+	if n == 1 {
+		delete(d.locks, name)
+	} else {
+		d.locks[name] = n - 1
+	}
+	return nil
+}
+
+// AnyHeld reports whether the device must stay awake.
+func (d *WakelockDriver) AnyHeld() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.locks) > 0
+}
+
+// Held returns the names of held locks, sorted.
+func (d *WakelockDriver) Held() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.locks))
+	for name := range d.locks {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Alarm driver — lets the AlarmManagerService schedule triggers that fire
+// regardless of sleep state. Alarms fire as virtual time advances.
+
+// AlarmDriver schedules kernel-level alarms on the virtual clock.
+type AlarmDriver struct {
+	clock *Clock
+
+	mu        sync.Mutex
+	nextID    int
+	live      map[int]time.Time
+	cancelFns map[int]func()
+}
+
+func newAlarmDriver(c *Clock) *AlarmDriver {
+	return &AlarmDriver{
+		clock:     c,
+		live:      make(map[int]time.Time),
+		cancelFns: make(map[int]func()),
+	}
+}
+
+// Set schedules fn at the absolute virtual instant, returning an alarm id.
+// Alarms never fire inline from Set, even for instants in the past; the
+// next clock Advance delivers them, matching the real driver's interrupt
+// behaviour.
+func (d *AlarmDriver) Set(when time.Time, fn func(now time.Time)) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextID
+	d.nextID++
+	d.live[id] = when
+	d.cancelFns[id] = d.clock.At(when, func(now time.Time) {
+		d.mu.Lock()
+		delete(d.live, id)
+		delete(d.cancelFns, id)
+		d.mu.Unlock()
+		fn(now)
+	})
+	return id
+}
+
+// Cancel removes a pending alarm; it is a no-op for fired or unknown ids.
+func (d *AlarmDriver) Cancel(id int) {
+	d.mu.Lock()
+	cancel := d.cancelFns[id]
+	delete(d.cancelFns, id)
+	delete(d.live, id)
+	d.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Pending reports the number of scheduled alarms.
+func (d *AlarmDriver) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.live)
+}

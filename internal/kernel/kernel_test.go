@@ -1,0 +1,392 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newProc(t *testing.T, k *Kernel, name string) *Process {
+	t.Helper()
+	p, err := k.CreateProcess(ProcessOptions{Name: name, UID: 10001})
+	if err != nil {
+		t.Fatalf("CreateProcess(%s): %v", name, err)
+	}
+	return p
+}
+
+func TestClockAdvanceFiresInOrder(t *testing.T) {
+	c := NewClock()
+	var fired []int
+	c.AfterFunc(3*time.Second, func(time.Time) { fired = append(fired, 3) })
+	c.AfterFunc(1*time.Second, func(time.Time) { fired = append(fired, 1) })
+	c.AfterFunc(2*time.Second, func(time.Time) { fired = append(fired, 2) })
+	c.Advance(5 * time.Second)
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Errorf("fired = %v, want [1 2 3]", fired)
+	}
+	if got := c.Now().Sub(Epoch); got != 5*time.Second {
+		t.Errorf("Now = Epoch+%v, want Epoch+5s", got)
+	}
+}
+
+func TestClockTimerNotDueDoesNotFire(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.AfterFunc(10*time.Second, func(time.Time) { fired = true })
+	c.Advance(9 * time.Second)
+	if fired {
+		t.Error("timer fired early")
+	}
+	c.Advance(time.Second)
+	if !fired {
+		t.Error("timer did not fire at deadline")
+	}
+}
+
+func TestClockCancel(t *testing.T) {
+	c := NewClock()
+	fired := false
+	cancel := c.AfterFunc(time.Second, func(time.Time) { fired = true })
+	cancel()
+	c.Advance(2 * time.Second)
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	if c.PendingTimers() != 0 {
+		t.Errorf("PendingTimers = %d after cancel", c.PendingTimers())
+	}
+}
+
+func TestClockChainedTimersFireWithinWindow(t *testing.T) {
+	c := NewClock()
+	var order []string
+	c.AfterFunc(1*time.Second, func(time.Time) {
+		order = append(order, "first")
+		c.AfterFunc(1*time.Second, func(time.Time) { order = append(order, "chained") })
+	})
+	c.Advance(3 * time.Second)
+	if len(order) != 2 || order[0] != "first" || order[1] != "chained" {
+		t.Errorf("order = %v, want [first chained]", order)
+	}
+}
+
+func TestClockPastInstantFiresOnAdvanceZero(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.At(Epoch.Add(-time.Hour), func(time.Time) { fired = true })
+	c.Advance(0)
+	if !fired {
+		t.Error("past-deadline timer did not fire on Advance(0)")
+	}
+}
+
+func TestClockDeadlinesSorted(t *testing.T) {
+	c := NewClock()
+	c.AfterFunc(5*time.Second, func(time.Time) {})
+	c.AfterFunc(1*time.Second, func(time.Time) {})
+	dl := c.NextDeadlines()
+	if len(dl) != 2 || !dl[0].Before(dl[1]) {
+		t.Errorf("NextDeadlines = %v, want sorted", dl)
+	}
+}
+
+func TestProcessLifecycle(t *testing.T) {
+	k := New("3.4")
+	p := newProc(t, k, "com.example.app")
+	if p.PID() != p.VPID() {
+		t.Errorf("root-namespace process pid %d != vpid %d", p.PID(), p.VPID())
+	}
+	if k.Process(p.PID()) != p {
+		t.Error("Process lookup failed")
+	}
+	if p.Binder() == nil {
+		t.Fatal("process has no binder state")
+	}
+	p.Exit()
+	if k.Process(p.PID()) != nil {
+		t.Error("exited process still registered")
+	}
+	if !p.Binder().Dead() {
+		t.Error("binder state survived process exit")
+	}
+	p.Exit() // idempotent
+}
+
+func TestPIDNamespaceRestorePreservesVPID(t *testing.T) {
+	k := New("3.4")
+	// Occupy low pids so a restored vpid would collide without a namespace.
+	for i := 0; i < 5; i++ {
+		newProc(t, k, "filler")
+	}
+	ns := NewPIDNamespace("wrapper:com.example.app")
+	p, err := k.CreateProcess(ProcessOptions{Name: "restored", Namespace: ns, VPID: 2})
+	if err != nil {
+		t.Fatalf("CreateProcess in namespace: %v", err)
+	}
+	if p.VPID() != 2 {
+		t.Errorf("vpid = %d, want 2", p.VPID())
+	}
+	if p.PID() == 2 {
+		t.Errorf("global pid unexpectedly equals vpid with occupied pid space")
+	}
+	if got, ok := ns.Resolve(2); !ok || got != p.PID() {
+		t.Errorf("Resolve(2) = %d,%t want %d,true", got, ok, p.PID())
+	}
+	p.Exit()
+	if _, ok := ns.Resolve(2); ok {
+		t.Error("vpid still bound after exit")
+	}
+}
+
+func TestPIDNamespaceDuplicateVPID(t *testing.T) {
+	k := New("3.4")
+	ns := NewPIDNamespace("ns")
+	if _, err := k.CreateProcess(ProcessOptions{Name: "a", Namespace: ns, VPID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateProcess(ProcessOptions{Name: "b", Namespace: ns, VPID: 7}); err == nil {
+		t.Fatal("duplicate vpid accepted")
+	}
+	if _, err := k.CreateProcess(ProcessOptions{Name: "c", Namespace: ns}); err == nil {
+		t.Fatal("namespace process without vpid accepted")
+	}
+}
+
+func TestFDTable(t *testing.T) {
+	k := New("3.4")
+	p := newProc(t, k, "app")
+	fd1, err := p.OpenFD(FDFile, "/data/data/app/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd1 != 3 {
+		t.Errorf("first fd = %d, want 3 (after stdio)", fd1)
+	}
+	fd2, _ := p.OpenFD(FDUnixSocket, "sensor-events")
+	if fd2 != fd1+1 {
+		t.Errorf("second fd = %d, want %d", fd2, fd1+1)
+	}
+	if err := p.CloseFD(fd1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CloseFD(fd1); err == nil {
+		t.Error("double close succeeded")
+	}
+	fds := p.FDs()
+	if len(fds) != 1 || fds[0].Num != fd2 {
+		t.Errorf("FDs = %v", fds)
+	}
+}
+
+func TestOpenFDAtAndDup2(t *testing.T) {
+	k := New("3.4")
+	p := newProc(t, k, "app")
+	if err := p.OpenFDAt(40, FDUnixSocket, "reserved"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OpenFDAt(40, FDFile, "clash"); err == nil {
+		t.Error("OpenFDAt over open fd succeeded")
+	}
+	// New connection arrives on some fresh fd; dup2 it into the reserved slot.
+	fresh, _ := p.OpenFD(FDUnixSocket, "sensor-new")
+	if err := p.Dup2(fresh, 40); err != nil {
+		t.Fatal(err)
+	}
+	got := p.FD(40)
+	if got == nil || got.Path != "sensor-new" {
+		t.Errorf("fd 40 after dup2 = %+v", got)
+	}
+	if p.FD(fresh) != nil {
+		t.Error("source fd survived dup2")
+	}
+	next, _ := p.OpenFD(FDFile, "later")
+	if next <= 40 {
+		t.Errorf("fd allocation did not advance past injected numbers: %d", next)
+	}
+}
+
+func TestMemorySegments(t *testing.T) {
+	k := New("3.4")
+	p := newProc(t, k, "app")
+	p.MapSegment(MemSegment{Name: "dalvik-heap", Kind: SegHeap, Size: 8 << 20, Entropy: 0.55})
+	p.MapSegment(MemSegment{Name: "libapp.so", Kind: SegCode, Size: 2 << 20, Entropy: 0.9})
+	p.MapSegment(MemSegment{Name: "gl-textures", Kind: SegGraphics, Size: 16 << 20, Entropy: 0.98})
+	if got := p.MemoryBytes(); got != 26<<20 {
+		t.Errorf("MemoryBytes = %d", got)
+	}
+	if got := p.MemoryBytes(SegHeap); got != 8<<20 {
+		t.Errorf("MemoryBytes(heap) = %d", got)
+	}
+	freed := p.UnmapSegments(func(s MemSegment) bool { return s.Kind == SegGraphics })
+	if freed != 16<<20 {
+		t.Errorf("freed = %d", freed)
+	}
+	if got := p.MemoryBytes(SegGraphics); got != 0 {
+		t.Errorf("graphics bytes after unmap = %d", got)
+	}
+}
+
+func TestCompressedSizeProperty(t *testing.T) {
+	f := func(size int64, entropy float64) bool {
+		if size < 0 {
+			size = -size
+		}
+		e := entropy - float64(int64(entropy)) // fract into (-1,1)
+		if e < 0 {
+			e = -e
+		}
+		seg := MemSegment{Size: size, Entropy: e}
+		cs := seg.CompressedSize()
+		return cs >= 0 && cs <= size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAshmemDriver(t *testing.T) {
+	k := New("3.4")
+	if _, err := k.Ashmem.Create("dalvik-zygote", 4<<20, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Ashmem.Create("dalvik-zygote", 1, 100); err == nil {
+		t.Error("duplicate region name accepted")
+	}
+	regions := k.Ashmem.RegionsOwnedBy(100)
+	if len(regions) != 1 || regions[0].Size != 4<<20 {
+		t.Errorf("RegionsOwnedBy = %v", regions)
+	}
+	if err := k.Ashmem.Release("dalvik-zygote"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Ashmem.Release("dalvik-zygote"); err == nil {
+		t.Error("double release succeeded")
+	}
+}
+
+func TestPmemDriver(t *testing.T) {
+	k := New("3.4")
+	id, err := k.Pmem.Alloc(64<<20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Pmem.UsedBy(100); got != 64<<20 {
+		t.Errorf("UsedBy = %d", got)
+	}
+	if _, err := k.Pmem.Alloc(256<<20, 101); err == nil {
+		t.Error("overcommit accepted")
+	}
+	if err := k.Pmem.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Pmem.Free(id); err == nil {
+		t.Error("double free succeeded")
+	}
+	k.Pmem.Alloc(1<<20, 100)
+	k.Pmem.Alloc(2<<20, 100)
+	k.Pmem.Alloc(4<<20, 999)
+	if freed := k.Pmem.FreeOwnedBy(100); freed != 3<<20 {
+		t.Errorf("FreeOwnedBy = %d", freed)
+	}
+	if got := k.Pmem.Used(); got != 4<<20 {
+		t.Errorf("Used = %d", got)
+	}
+}
+
+func TestLoggerRingBuffer(t *testing.T) {
+	k := New("3.4")
+	small := newLoggerDriver(3)
+	for i := 0; i < 5; i++ {
+		small.Write(100, "flux", "line")
+	}
+	if got := small.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	if got := len(small.Tail(10)); got != 3 {
+		t.Errorf("Tail = %d entries, want 3", got)
+	}
+	k.Logger.Write(100, "flux", "migrating")
+	tail := k.Logger.Tail(1)
+	if len(tail) != 1 || tail[0].Msg != "migrating" {
+		t.Errorf("Tail = %v", tail)
+	}
+}
+
+func TestWakelocks(t *testing.T) {
+	k := New("3.4")
+	if k.Wakelocks.AnyHeld() {
+		t.Error("fresh kernel holds wakelocks")
+	}
+	k.Wakelocks.Acquire("migration")
+	k.Wakelocks.Acquire("migration")
+	k.Wakelocks.Acquire("audio")
+	if got := k.Wakelocks.Held(); len(got) != 2 {
+		t.Errorf("Held = %v", got)
+	}
+	if err := k.Wakelocks.Release("migration"); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Wakelocks.AnyHeld() {
+		t.Error("wakelocks released too eagerly")
+	}
+	k.Wakelocks.Release("migration")
+	k.Wakelocks.Release("audio")
+	if k.Wakelocks.AnyHeld() {
+		t.Error("wakelocks still held after full release")
+	}
+	if err := k.Wakelocks.Release("audio"); err == nil {
+		t.Error("release of unheld lock succeeded")
+	}
+}
+
+func TestAlarmDriverFiresOnAdvance(t *testing.T) {
+	k := New("3.4")
+	fired := 0
+	k.Alarms.Set(k.Clock().Now().Add(10*time.Minute), func(time.Time) { fired++ })
+	k.Clock().Advance(9 * time.Minute)
+	if fired != 0 {
+		t.Fatal("alarm fired early")
+	}
+	if k.Alarms.Pending() != 1 {
+		t.Errorf("Pending = %d", k.Alarms.Pending())
+	}
+	k.Clock().Advance(2 * time.Minute)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if k.Alarms.Pending() != 0 {
+		t.Errorf("Pending after fire = %d", k.Alarms.Pending())
+	}
+}
+
+func TestAlarmDriverCancel(t *testing.T) {
+	k := New("3.4")
+	fired := false
+	id := k.Alarms.Set(k.Clock().Now().Add(time.Minute), func(time.Time) { fired = true })
+	k.Alarms.Cancel(id)
+	k.Clock().Advance(time.Hour)
+	if fired {
+		t.Error("cancelled alarm fired")
+	}
+	k.Alarms.Cancel(9999) // unknown id is a no-op
+}
+
+func TestProcessesSorted(t *testing.T) {
+	k := New("3.1")
+	for i := 0; i < 4; i++ {
+		newProc(t, k, "p")
+	}
+	ps := k.Processes()
+	for i := 1; i < len(ps); i++ {
+		if ps[i].PID() <= ps[i-1].PID() {
+			t.Errorf("Processes not sorted: %d then %d", ps[i-1].PID(), ps[i].PID())
+		}
+	}
+}
+
+func TestKernelVersion(t *testing.T) {
+	if got := New("3.1").Version(); got != "3.1" {
+		t.Errorf("Version = %q", got)
+	}
+}

@@ -1,0 +1,60 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PIDNamespace is a private virtual pid space. Flux restores a migrated app
+// inside one so the app keeps seeing the pids it had on the home device even
+// if those numerical pids are taken on the guest (paper §3.1, §3.3).
+type PIDNamespace struct {
+	mu   sync.Mutex
+	name string
+	vmap map[int]int // vpid -> global pid
+}
+
+// NewPIDNamespace creates an empty namespace with a diagnostic name.
+func NewPIDNamespace(name string) *PIDNamespace {
+	return &PIDNamespace{name: name, vmap: make(map[int]int)}
+}
+
+// Name returns the namespace's diagnostic name.
+func (ns *PIDNamespace) Name() string { return ns.name }
+
+func (ns *PIDNamespace) bind(vpid, pid int) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if _, ok := ns.vmap[vpid]; ok {
+		return fmt.Errorf("kernel: vpid %d already bound in namespace %q", vpid, ns.name)
+	}
+	ns.vmap[vpid] = pid
+	return nil
+}
+
+func (ns *PIDNamespace) unbind(vpid int) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	delete(ns.vmap, vpid)
+}
+
+// Resolve maps a virtual pid to its global pid; ok is false if unbound.
+func (ns *PIDNamespace) Resolve(vpid int) (pid int, ok bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	pid, ok = ns.vmap[vpid]
+	return pid, ok
+}
+
+// VPIDs returns the bound virtual pids, sorted.
+func (ns *PIDNamespace) VPIDs() []int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make([]int, 0, len(ns.vmap))
+	for v := range ns.vmap {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,482 @@
+// Package migration implements Flux's migration pipeline (paper §3.1,
+// Figure 4): Preparation (background the app, let the task idler stop it,
+// trim memory, eglUnload), Checkpoint (CRIA + the pruned record log),
+// Transfer (verify APK, sync data-directory delta, ship the compressed
+// image over the devices' wireless link), Restore (CRIA restore inside the
+// pseudo-installed wrapper), and Reintegration (adaptive replay, hardware
+// and connectivity change injection, foreground).
+//
+// Stage durations are modelled on virtual time: CPU-bound work scales with
+// the device's CPU factor, and the transfer stage is governed by the
+// netsim link — which is what reproduces the paper's "transfer dominates"
+// breakdown (Figure 13).
+package migration
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"flux/internal/android"
+	"flux/internal/cria"
+	"flux/internal/device"
+	"flux/internal/gpu"
+	"flux/internal/pairing"
+	"flux/internal/replay"
+	"flux/internal/rsyncx"
+)
+
+// Stage is one of the five migration phases of Figure 13.
+type Stage int
+
+const (
+	StagePreparation Stage = iota
+	StageCheckpoint
+	StageTransfer
+	StageRestore
+	StageReintegration
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StagePreparation:
+		return "Preparation"
+	case StageCheckpoint:
+		return "Checkpoint"
+	case StageTransfer:
+		return "Transfer"
+	case StageRestore:
+		return "Restore"
+	case StageReintegration:
+		return "Reintegration"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Timings holds per-stage durations.
+type Timings [numStages]time.Duration
+
+// Total sums all stages.
+func (t Timings) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t {
+		sum += d
+	}
+	return sum
+}
+
+// UserPerceived excludes the stages hidden behind the migration target
+// menu (preparation and checkpoint), per the paper's §4 analysis.
+func (t Timings) UserPerceived() time.Duration {
+	return t[StageTransfer] + t[StageRestore] + t[StageReintegration]
+}
+
+// ExcludingTransfer is Figure 14's metric: user-perceived time without the
+// network-bound stage.
+func (t Timings) ExcludingTransfer() time.Duration {
+	return t[StageRestore] + t[StageReintegration]
+}
+
+// Report is the outcome of one migration.
+type Report struct {
+	Pkg     string
+	Home    string
+	Guest   string
+	Timings Timings
+	// TransferredBytes is everything shipped during the transfer stage.
+	TransferredBytes int64
+	// ImageBytes is the raw checkpoint size (metadata + memory payload).
+	ImageBytes int64
+	// CompressedImageBytes is the image's wire size.
+	CompressedImageBytes int64
+	// RecordLogBytes is the pruned call log's wire size.
+	RecordLogBytes int64
+	// DataDeltaBytes is the app data-directory delta synced.
+	DataDeltaBytes int64
+	// APKDeltaBytes is nonzero when the APK changed since pairing.
+	APKDeltaBytes int64
+	// PostCopyResidualBytes is the payload streamed after the synchronous
+	// transfer stage under Options.PostCopy.
+	PostCopyResidualBytes int64
+	// ReplayStats summarizes adaptive replay.
+	ReplayStats replay.Stats
+	// StateBefore/StateAfter are the aggregate service states on home (at
+	// checkpoint) and guest (after reintegration), for verification.
+	StateBefore map[string]string
+	StateAfter  map[string]string
+	// App is the restored app instance on the guest.
+	App *android.App
+}
+
+// StateConsistent reports whether the guest's service state matches the
+// home state at checkpoint — the migration correctness criterion.
+func (r *Report) StateConsistent() bool {
+	if len(r.StateBefore) != len(r.StateAfter) {
+		return false
+	}
+	for k, v := range r.StateBefore {
+		if r.StateAfter[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Errors migration can refuse with, mirroring the paper's failure cases.
+var (
+	ErrNotPaired = errors.New("migration: devices are not paired")
+	// ErrMigratedAway reports a native start attempt while the app's live
+	// state sits on another device (paper §3.4).
+	ErrMigratedAway = errors.New("migration: app state currently lives on another device")
+	// ErrCommonSDCard re-exports the CRIA refusal for open common SD files.
+	ErrCommonSDCard    = cria.ErrCommonSDCard
+	ErrNotRunning      = errors.New("migration: app is not running on the home device")
+	ErrPreserveEGL     = errors.New("migration: app preserves its EGL context (setPreserveEGLContextOnPause)")
+	ErrAPILevel        = errors.New("migration: app requires a newer API level than the guest provides")
+	ErrMultiProcess    = cria.ErrMultiProcess
+	ErrProviderBusy    = cria.ErrProviderBusy
+	ErrNonSystemBinder = cria.ErrNonSystemConnection
+)
+
+// Options tunes a migration run.
+type Options struct {
+	// AllowMultiProcess enables the paper's future-work process-tree
+	// checkpointing.
+	AllowMultiProcess bool
+	// NetworkFallback lets calls to guest-absent hardware forward to the
+	// home device over the network.
+	NetworkFallback bool
+	// SkipCompression ships the raw image (ablation).
+	SkipCompression bool
+	// PostCopy defers most of the memory payload: the transfer stage ships
+	// only a working set, and the residual pages stream concurrently with
+	// restore and reintegration — the paper's proposed optimization
+	// ("post copy supplemented with adaptive pre-paging", §4). It shortens
+	// user-perceived time without changing total bytes moved.
+	PostCopy bool
+	// PostCopyWorkingSet is the fraction of the compressed payload shipped
+	// synchronously under PostCopy; default 0.3.
+	PostCopyWorkingSet float64
+	// Engine overrides the replay engine (tests inject failing proxies).
+	Engine *replay.Engine
+}
+
+// Migrator moves apps between a fixed pair of devices.
+type Migrator struct {
+	Home  *device.Device
+	Guest *device.Device
+	Opts  Options
+
+	engine *replay.Engine
+}
+
+// New builds a migrator for a device pair.
+func New(home, guest *device.Device, opts Options) *Migrator {
+	eng := opts.Engine
+	if eng == nil {
+		eng = replay.NewEngine()
+	}
+	return &Migrator{Home: home, Guest: guest, Opts: opts, engine: eng}
+}
+
+// advanceBoth moves both devices' virtual clocks: wall time passes on the
+// guest while the home device prepares and checkpoints, and vice versa.
+func (m *Migrator) advanceBoth(d time.Duration) {
+	m.Home.Kernel.Clock().Advance(d)
+	m.Guest.Kernel.Clock().Advance(d)
+}
+
+// cpuTime models CPU-bound work of `bytes` at `rate` bytes/sec on a 1.0
+// device, scaled by the device's CPU factor, plus fixed overhead.
+func cpuTime(fixed time.Duration, bytes int64, ratePerSec int64, cpuFactor float64) time.Duration {
+	work := time.Duration(float64(bytes) / (float64(ratePerSec) * cpuFactor) * float64(time.Second))
+	return fixed + work
+}
+
+// guestAPILevel is the API ceiling of the guest's Android version; all
+// evaluation devices run KitKat (API 19).
+func apiLevel(androidVersion string) int {
+	switch androidVersion {
+	case "4.4", "4.4.2":
+		return 19
+	case "4.3":
+		return 18
+	default:
+		return 19
+	}
+}
+
+// Migrate moves pkg from Home to Guest, returning a full report.
+func (m *Migrator) Migrate(pkg string) (*Report, error) {
+	if !m.Home.PairedWith(m.Guest.Name()) {
+		return nil, fmt.Errorf("%w: %s and %s", ErrNotPaired, m.Home.Name(), m.Guest.Name())
+	}
+	app := m.Home.Runtime.App(pkg)
+	if app == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotRunning, pkg)
+	}
+	if app.Spec().APIKLevel > apiLevel(m.Guest.Profile().AndroidVersion) {
+		return nil, fmt.Errorf("%w: needs API %d", ErrAPILevel, app.Spec().APIKLevel)
+	}
+	if app.ProviderBusy() {
+		return nil, ErrProviderBusy
+	}
+	rep := &Report{
+		Pkg:   pkg,
+		Home:  m.Home.Name(),
+		Guest: m.Guest.Name(),
+	}
+	link := device.Link(m.Home, m.Guest)
+	homeCPU := m.Home.Profile().CPUFactor
+	guestCPU := m.Guest.Profile().CPUFactor
+
+	// ---- Stage 1: Preparation -------------------------------------------
+	// Recording pauses: the app is no longer executing user work.
+	m.Home.Recorder.Pause(pkg)
+	defer m.Home.Recorder.Resume(pkg)
+
+	m.Home.Runtime.MoveToBackground(app)
+	// The unoptimized prototype waits for the task idler (paper §4).
+	idle := m.Home.Runtime.IdleWait()
+	m.advanceBoth(idle)
+	texBytes := app.Spec().TextureCacheBytes
+	if err := app.HandleTrimMemory(); err != nil {
+		if errors.Is(err, gpu.ErrContextPreserved) {
+			return nil, fmt.Errorf("%w: %s", ErrPreserveEGL, pkg)
+		}
+		return nil, fmt.Errorf("migration: trim: %w", err)
+	}
+	if err := app.EGLUnload(); err != nil {
+		return nil, fmt.Errorf("migration: eglUnload: %w", err)
+	}
+	prepWork := cpuTime(60*time.Millisecond, texBytes, 400<<20, homeCPU)
+	m.advanceBoth(prepWork)
+	rep.Timings[StagePreparation] = idle + prepWork
+
+	// ---- Stage 2: Checkpoint --------------------------------------------
+	img, err := cria.Checkpoint(app, cria.Options{
+		HomeDevice:      m.Home.Name(),
+		ServiceManager:  m.Home.Kernel.Binder().ServiceManager(),
+		Recorder:        m.Home.Recorder,
+		Now:             m.Home.Kernel.Clock().Now,
+		HomeVolumeSteps: m.Home.System.Audio.MaxSteps(),
+		ReplayRestorable: map[string]bool{
+			"ISensorEventConnection": true,
+		},
+		AllowMultiProcess: m.Opts.AllowMultiProcess,
+		SystemPIDs: map[int]bool{
+			0:                          true,
+			m.Home.System.Proc().PID(): true,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.StateBefore = m.Home.System.AppState(pkg)
+	rep.ImageBytes = img.PayloadBytes()
+	imgWire, err := img.WireBytes()
+	if err != nil {
+		return nil, err
+	}
+	rep.CompressedImageBytes = imgWire
+	rep.RecordLogBytes = int64(len(img.RecordLog))
+	ckptDur := cpuTime(90*time.Millisecond, rep.ImageBytes, 160<<20, homeCPU)
+	m.advanceBoth(ckptDur)
+	rep.Timings[StageCheckpoint] = ckptDur
+
+	// ---- Stage 3: Transfer ----------------------------------------------
+	apkDelta, err := pairing.VerifyAPK(m.Home, m.Guest, pkg)
+	if err != nil {
+		return nil, err
+	}
+	rep.APKDeltaBytes = apkDelta
+	rep.DataDeltaBytes = m.syncAppData(pkg)
+	imageWire := rep.CompressedImageBytes
+	if m.Opts.SkipCompression {
+		imageWire = rep.ImageBytes + rep.RecordLogBytes
+	}
+	var residual int64
+	if m.Opts.PostCopy {
+		ws := m.Opts.PostCopyWorkingSet
+		if ws <= 0 || ws > 1 {
+			ws = 0.3
+		}
+		residual = int64(float64(imageWire) * (1 - ws))
+		imageWire -= residual
+	}
+	wire := rep.DataDeltaBytes + apkDelta + imageWire
+	rep.TransferredBytes = wire + residual
+	rep.PostCopyResidualBytes = residual
+	transferDur := link.TransferTime(wire)
+	m.advanceBoth(transferDur)
+	rep.Timings[StageTransfer] = transferDur
+
+	// Exercise the real serialization path: the guest decodes the image
+	// it received.
+	imgBytes, err := img.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	img, err = cria.Unmarshal(imgBytes)
+	if err != nil {
+		return nil, fmt.Errorf("migration: image did not survive transfer: %w", err)
+	}
+
+	// ---- Stage 4: Restore -----------------------------------------------
+	restored, err := cria.Restore(img, cria.RestoreOptions{Runtime: m.Guest.Runtime})
+	if err != nil {
+		return nil, err
+	}
+	restoreDur := cpuTime(450*time.Millisecond, rep.ImageBytes, 180<<20, guestCPU)
+	m.advanceBoth(restoreDur)
+	rep.Timings[StageRestore] = restoreDur
+
+	// ---- Stage 5: Reintegration -----------------------------------------
+	ctx := &replay.Context{
+		Pkg:             pkg,
+		AppProc:         restored.App.Process().Binder(),
+		KernProc:        restored.App.Process(),
+		System:          m.Guest.System,
+		Recorder:        m.Guest.Recorder,
+		CheckpointTime:  img.CheckpointTime,
+		HomeVolumeSteps: img.HomeVolumeSteps,
+		NetworkFallback: m.Opts.NetworkFallback,
+	}
+	stats, err := m.engine.Replay(ctx, restored.Entries)
+	rep.ReplayStats = stats
+	if err != nil {
+		return nil, err
+	}
+	// Inform the app of connectivity and hardware changes, then foreground.
+	m.Guest.Runtime.InjectConnectivityChange(restored.App, m.Guest.System.Connectivity.Network())
+	m.Guest.Runtime.Broadcast(android.Intent{
+		Action: android.ActionHardwareChange,
+		Pkg:    pkg,
+		Extras: map[string]string{"gpu": m.Guest.Profile().GPU.Model},
+	})
+	if err := m.Guest.Runtime.Foreground(restored.App); err != nil {
+		return nil, fmt.Errorf("migration: foreground: %w", err)
+	}
+	reintDur := cpuTime(380*time.Millisecond, texBytes, 250<<20, guestCPU) +
+		time.Duration(len(restored.Entries))*5*time.Millisecond
+	if residual > 0 {
+		// The residual payload streams while restore and reintegration run;
+		// only the part that outlasts them extends the reintegration stage
+		// (demand paging stalls are folded into the stream time).
+		streaming := link.TransferTime(residual)
+		overlapped := rep.Timings[StageRestore] + reintDur
+		if streaming > overlapped {
+			reintDur += streaming - overlapped
+		}
+	}
+	m.advanceBoth(reintDur)
+	rep.Timings[StageReintegration] = reintDur
+	rep.App = restored.App
+
+	// ---- Post-migration bookkeeping on the home device -------------------
+	rep.StateAfter = m.Guest.System.AppState(pkg)
+	m.Home.Runtime.Kill(app)
+	m.Home.System.ForgetApp(pkg)
+	m.Home.Recorder.Log().DropApp(pkg)
+	if hi := m.Home.Installed(pkg); hi != nil {
+		hi.MigratedTo = m.Guest.Name()
+	}
+	if gi := m.Guest.Installed(pkg); gi != nil {
+		gi.MigratedTo = ""
+	}
+
+	return rep, nil
+}
+
+// StartNative launches the natively installed app on dev. If the app's
+// live state was migrated away and never brought back, the launch is
+// refused with ErrMigratedAway, mirroring the paper's §3.4 prompt: the
+// user must either migrate the app back (ResolveKeepRemote) or explicitly
+// discard the remote state (ResolveKeepLocal).
+func StartNative(dev *device.Device, spec android.AppSpec) (*android.App, error) {
+	inst := dev.Installed(spec.Package)
+	if inst != nil && inst.MigratedTo != "" {
+		return nil, fmt.Errorf("%w: %s is on %s", ErrMigratedAway, spec.Package, inst.MigratedTo)
+	}
+	return dev.Runtime.Launch(spec)
+}
+
+// ConflictPolicy selects how a home-device start resolves against remote
+// state (paper §3.4).
+type ConflictPolicy int
+
+const (
+	// ResolveKeepRemote migrates the app back from the remote device so no
+	// state is lost.
+	ResolveKeepRemote ConflictPolicy = iota
+	// ResolveKeepLocal discards the remote instance's state and proceeds
+	// with the local install.
+	ResolveKeepLocal
+)
+
+// ResolveConflict settles a migrated-away app between its home device and
+// the remote device currently holding it. With ResolveKeepRemote it runs a
+// migration back; with ResolveKeepLocal it kills the remote instance,
+// clears its state, and reopens the app for native use at home.
+func ResolveConflict(home, remote *device.Device, pkg string, policy ConflictPolicy) error {
+	hi := home.Installed(pkg)
+	if hi == nil || hi.MigratedTo == "" {
+		return nil // nothing to resolve
+	}
+	if hi.MigratedTo != remote.Name() {
+		return fmt.Errorf("migration: %s lives on %q, not %q", pkg, hi.MigratedTo, remote.Name())
+	}
+	switch policy {
+	case ResolveKeepRemote:
+		_, err := New(remote, home, Options{}).Migrate(pkg)
+		return err
+	case ResolveKeepLocal:
+		if app := remote.Runtime.App(pkg); app != nil {
+			remote.Runtime.Kill(app)
+		}
+		remote.System.ForgetApp(pkg)
+		remote.Recorder.Log().DropApp(pkg)
+		hi.MigratedTo = ""
+		return nil
+	}
+	return fmt.Errorf("migration: unknown conflict policy %d", policy)
+}
+
+// syncAppData ships the app's data-directory delta (and app-specific SD
+// card directory) to the guest, returning compressed wire bytes.
+func (m *Migrator) syncAppData(pkg string) int64 {
+	hi := m.Home.Installed(pkg)
+	gi := m.Guest.Installed(pkg)
+	if hi == nil || gi == nil {
+		return 0
+	}
+	var wire int64
+	if hi.DataDir != nil {
+		if gi.DataDir == nil {
+			gi.DataDir = hi.DataDir.Clone()
+			wire += compressedTotal(hi.DataDir)
+		} else {
+			plan := rsyncx.Sync(hi.DataDir, gi.DataDir, nil)
+			wire += plan.CompressedBytes()
+		}
+	}
+	if hi.SDDir != nil {
+		if gi.SDDir == nil {
+			gi.SDDir = hi.SDDir.Clone()
+			wire += compressedTotal(hi.SDDir)
+		} else {
+			plan := rsyncx.Sync(hi.SDDir, gi.SDDir, nil)
+			wire += plan.CompressedBytes()
+		}
+	}
+	return wire
+}
+
+func compressedTotal(t *rsyncx.Tree) int64 {
+	var n int64
+	for _, f := range t.Files() {
+		n += f.CompressedSize()
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+package migration_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"flux/internal/aidl"
+	"flux/internal/device"
+	"flux/internal/migration"
+	"flux/internal/services"
+)
+
+// TestRandomWorkloadConsistency is a property-style soak: random
+// interleavings of service calls (posting/acknowledging notifications,
+// setting/removing/replacing alarms, keyguard tokens, location
+// subscriptions, clipboard writes, receiver churn, volume changes) must
+// always migrate to a byte-identical service state, regardless of how the
+// Selective Record pruning rules interleaved. This is the paper's core
+// correctness claim about drop semantics, stress-tested.
+func TestRandomWorkloadConsistency(t *testing.T) {
+	const seeds = 20
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := newWorld(t, spec())
+			rng := rand.New(rand.NewSource(seed))
+			driveRandomWorkload(t, w, rng, 120)
+			rep := migrate(t, w)
+			if !rep.StateConsistent() {
+				t.Fatalf("seed %d: state diverged\n before %v\n after  %v",
+					seed, rep.StateBefore, rep.StateAfter)
+			}
+			// Replaying the pruned log reconstructed the exact notification
+			// set; cross-check against what the home reported at checkpoint.
+			for k, v := range rep.StateBefore {
+				if rep.StateAfter[k] != v {
+					t.Errorf("key %s: %q vs %q", k, v, rep.StateAfter[k])
+				}
+			}
+		})
+	}
+}
+
+// driveRandomWorkload issues n random service calls from the app.
+func driveRandomWorkload(t *testing.T, w *world, rng *rand.Rand, n int) {
+	t.Helper()
+	notif := w.client(t, services.NotificationInterface, "notification")
+	alarm := w.client(t, services.AlarmInterface, "alarm")
+	keyguard := w.client(t, services.KeyguardInterface, "keyguard")
+	location := w.client(t, services.LocationInterface, "location")
+	clip := w.client(t, services.ClipboardInterface, "clipboard")
+	ams := w.client(t, services.ActivityInterface, "activity")
+	audio := w.client(t, services.AudioInterface, "audio")
+	nsd := w.client(t, services.NsdInterface, "servicediscovery")
+
+	providers := []string{"gps", "network", "passive"}
+	actions := []string{"A", "B", "C"}
+	svcNames := []string{"_http._tcp", "_ipp._tcp"}
+
+	for i := 0; i < n; i++ {
+		switch rng.Intn(12) {
+		case 0, 1:
+			w.call(t, notif, "enqueueNotification", rng.Intn(4), aidl.Object(fmt.Sprintf("n:%d", rng.Intn(100))))
+		case 2:
+			w.call(t, notif, "cancelNotification", rng.Intn(4))
+		case 3:
+			w.call(t, notif, "cancelAllNotifications")
+		case 4:
+			// Always in the far future so none fire before checkpoint in
+			// this test (alarm firing semantics have their own tests).
+			at := w.home.Kernel.Clock().Now().Add(time.Duration(1+rng.Intn(48)) * time.Hour).UnixMilli()
+			w.call(t, alarm, "set", rng.Intn(2), at, aidl.Object(fmt.Sprintf("pi:%d", rng.Intn(3))))
+		case 5:
+			w.call(t, alarm, "remove", aidl.Object(fmt.Sprintf("pi:%d", rng.Intn(3))))
+		case 6:
+			w.call(t, keyguard, "disableKeyguard", actions[rng.Intn(len(actions))])
+		case 7:
+			w.call(t, keyguard, "reenableKeyguard", actions[rng.Intn(len(actions))])
+		case 8:
+			if rng.Intn(2) == 0 {
+				w.call(t, location, "requestLocationUpdates", providers[rng.Intn(len(providers))], int64(1000), 1.0)
+			} else {
+				w.call(t, location, "removeUpdates", providers[rng.Intn(len(providers))])
+			}
+		case 9:
+			w.call(t, clip, "setPrimaryClip", aidl.Object(fmt.Sprintf("clip-%d", rng.Intn(50))))
+		case 10:
+			if rng.Intn(2) == 0 {
+				w.call(t, ams, "registerReceiver", actions[rng.Intn(len(actions))])
+			} else {
+				w.call(t, ams, "unregisterReceiver", actions[rng.Intn(len(actions))])
+			}
+		case 11:
+			if rng.Intn(2) == 0 {
+				w.call(t, audio, "setStreamVolume", int(services.StreamMusic), rng.Intn(16), 0)
+			} else if rng.Intn(2) == 0 {
+				w.call(t, nsd, "registerService", svcNames[rng.Intn(len(svcNames))])
+			} else {
+				w.call(t, nsd, "unregisterService", svcNames[rng.Intn(len(svcNames))])
+			}
+		}
+	}
+}
+
+// TestSoakLogStaysBounded verifies the pruning claim that the record log is
+// "kept small by automatically discarding stale calls": after hundreds of
+// churning calls over a small key space, the surviving log is bounded by
+// the live-state size, not the call count.
+func TestSoakLogStaysBounded(t *testing.T) {
+	w := newWorld(t, spec())
+	rng := rand.New(rand.NewSource(99))
+	const calls = 600
+	driveRandomWorkload(t, w, rng, calls)
+	entries := w.home.Recorder.Log().AppEntries(pkg)
+	// Live state bound: ≤4 notifications + ≤3 alarms + ≤3 keyguard tokens +
+	// ≤3 providers + 1 clip + ≤3 receivers + 1 volume + ≤2 nsd ≈ 20, plus
+	// slack for unmatched cancels/removes that legitimately stay recorded.
+	if len(entries) > 60 {
+		t.Errorf("pruned log holds %d entries after %d calls; pruning is not bounding it", len(entries), calls)
+	}
+	observed, _ := w.home.Recorder.Stats()
+	if observed < calls/2 {
+		t.Fatalf("workload issued too few recorded-interface calls: %d", observed)
+	}
+	t.Logf("observed %d decorated calls, log kept %d", observed, len(entries))
+}
+
+// TestSoakRoundTrips chains migrations back and forth several times and
+// checks state never drifts.
+func TestSoakRoundTrips(t *testing.T) {
+	w := newWorld(t, spec())
+	rng := rand.New(rand.NewSource(7))
+	driveRandomWorkload(t, w, rng, 80)
+	want := w.home.System.AppState(pkg)
+
+	devices := []*device.Device{w.home, w.guest}
+	for hop := 0; hop < 4; hop++ {
+		src, dst := devices[hop%2], devices[(hop+1)%2]
+		rep, err := migration.New(src, dst, migration.Options{}).Migrate(pkg)
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		if !rep.StateConsistent() {
+			t.Fatalf("hop %d: state diverged", hop)
+		}
+	}
+	got := w.home.System.AppState(pkg)
+	if len(got) != len(want) {
+		t.Fatalf("state drifted over round trips:\n want %v\n got  %v", want, got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %s drifted: %q → %q", k, v, got[k])
+		}
+	}
+}

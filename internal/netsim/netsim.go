@@ -1,0 +1,75 @@
+// Package netsim models the wireless links Flux migrates over. The paper's
+// evaluation ran on a congested campus 802.11n network, with the Nexus 7
+// (2012) pinned to the crowded 2.4 GHz band; transfer time dominating
+// migration time is the headline shape of Figure 13, so the link model —
+// effective bandwidth, per-transfer setup latency — is what reproduces it.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Radio describes one device's WiFi adapter as deployed (i.e. effective
+// rates on the evaluation network, not the datasheet rate).
+type Radio struct {
+	Name string
+	// EffectiveBps is sustained goodput on the evaluation network, in
+	// BYTES per second.
+	EffectiveBps int64
+	// SetupLatency is per-transfer connection/negotiation overhead.
+	SetupLatency time.Duration
+}
+
+// Standard radios for the evaluation devices. The 2012 Nexus 7 only speaks
+// 2.4 GHz 802.11n and sits on the congested band (paper §4).
+var (
+	// Radio80211n5G is an 802.11n adapter on the less-congested 5 GHz band
+	// (Nexus 4, Nexus 7 2013): ~18 Mbit/s goodput on the busy campus
+	// network of the evaluation.
+	Radio80211n5G = Radio{Name: "802.11n-5GHz", EffectiveBps: 18_000_000 / 8, SetupLatency: 150 * time.Millisecond}
+	// Radio80211n24G is an 802.11n adapter stuck on the extremely congested
+	// 2.4 GHz band (Nexus 7 2012): ~9 Mbit/s goodput.
+	Radio80211n24G = Radio{Name: "802.11n-2.4GHz", EffectiveBps: 9_000_000 / 8, SetupLatency: 220 * time.Millisecond}
+)
+
+// Link is a point-to-point path between two radios through the AP.
+type Link struct {
+	A, B Radio
+}
+
+// Bandwidth returns the link's end-to-end goodput: the slower radio bounds
+// it, and relaying through the AP costs airtime on both hops when the
+// radios share a band (both 802.11n on one AP), modelled as a 15% tax.
+func (l Link) Bandwidth() int64 {
+	bw := l.A.EffectiveBps
+	if l.B.EffectiveBps < bw {
+		bw = l.B.EffectiveBps
+	}
+	return bw * 85 / 100
+}
+
+// Latency returns per-transfer setup cost: both sides negotiate.
+func (l Link) Latency() time.Duration {
+	if l.A.SetupLatency > l.B.SetupLatency {
+		return l.A.SetupLatency
+	}
+	return l.B.SetupLatency
+}
+
+// TransferTime returns how long shipping n bytes takes on the link.
+func (l Link) TransferTime(n int64) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	bw := l.Bandwidth()
+	if bw <= 0 {
+		return l.Latency()
+	}
+	return l.Latency() + time.Duration(float64(n)/float64(bw)*float64(time.Second))
+}
+
+// String describes the link.
+func (l Link) String() string {
+	return fmt.Sprintf("%s<->%s (%.1f Mbit/s)", l.A.Name, l.B.Name, float64(l.Bandwidth())*8/1e6)
+}

@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinkBandwidthBoundedBySlowerRadio(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n24G}
+	if got := l.Bandwidth(); got >= Radio80211n24G.EffectiveBps {
+		t.Errorf("link bandwidth %d not below slower radio %d", got, Radio80211n24G.EffectiveBps)
+	}
+}
+
+func TestLinkLatencyIsMax(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n24G}
+	if got := l.Latency(); got != Radio80211n24G.SetupLatency {
+		t.Errorf("latency = %v", got)
+	}
+}
+
+func TestTransferTimeMonotoneInBytes(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n5G}
+	f := func(a, b int64) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		a %= 1 << 34
+		b %= 1 << 34
+		if a > b {
+			a, b = b, a
+		}
+		return l.TransferTime(a) <= l.TransferTime(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferTimeScale(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n5G}
+	// 10 MB at ~3.2 MB/s effective should take seconds, not ms or minutes.
+	d := l.TransferTime(10 << 20)
+	if d < time.Second || d > 20*time.Second {
+		t.Errorf("10MB transfer = %v, outside plausible range", d)
+	}
+	if got := l.TransferTime(0); got != l.Latency() {
+		t.Errorf("zero-byte transfer = %v, want latency %v", got, l.Latency())
+	}
+	if got := l.TransferTime(-5); got != l.Latency() {
+		t.Errorf("negative-byte transfer = %v", got)
+	}
+}
+
+func TestCongestedBandIsSlower(t *testing.T) {
+	fast := Link{A: Radio80211n5G, B: Radio80211n5G}
+	slow := Link{A: Radio80211n24G, B: Radio80211n24G}
+	n := int64(5 << 20)
+	if fast.TransferTime(n) >= slow.TransferTime(n) {
+		t.Error("5GHz link not faster than congested 2.4GHz link")
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n24G}
+	if l.String() == "" {
+		t.Error("empty link description")
+	}
+}

@@ -1,0 +1,164 @@
+package pairing_test
+
+import (
+	"testing"
+
+	"flux/internal/android"
+	"flux/internal/device"
+	"flux/internal/pairing"
+	"flux/internal/rsyncx"
+)
+
+func twoDevices(t *testing.T) (*device.Device, *device.Device) {
+	t.Helper()
+	home, err := device.New(device.Nexus7_2012("home-n7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest, err := device.New(device.Nexus7_2013("guest-n7-2013"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return home, guest
+}
+
+func installOne(t *testing.T, d *device.Device, pkg string, apkMB int64) android.AppSpec {
+	t.Helper()
+	s := android.AppSpec{Package: pkg, MainActivity: "M", HeapBytes: 1 << 20, HeapEntropy: 0.5}
+	data := rsyncx.NewTree()
+	data.Add(rsyncx.File{Path: "/data/data/" + pkg + "/prefs.xml", Size: 4 << 10,
+		Hash: device.HashContent(pkg, "prefs"), Entropy: 0.3})
+	if err := d.InstallApp(&device.Install{
+		Spec: s,
+		APK: rsyncx.File{Path: "/data/app/" + pkg + ".apk", Size: apkMB << 20,
+			Hash: device.HashContent(pkg, "apk-v1"), Entropy: 0.95},
+		DataDir: data,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPairPaperScaleNumbers(t *testing.T) {
+	home, guest := twoDevices(t)
+	installOne(t, home, "com.example.a", 2)
+	res, err := pairing.Pair(home, guest, []string{"com.example.a"})
+	if err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	mb := func(n int64) float64 { return float64(n) / (1 << 20) }
+	// Paper: 215 MB constant data, 123 MB after link-dest, 56 MB compressed.
+	if got := mb(res.ConstantBytes); got < 200 || got > 230 {
+		t.Errorf("constant data = %.0f MB, want ≈215", got)
+	}
+	if got := mb(res.TransferBytes); got < 110 || got > 140 {
+		t.Errorf("post-link transfer = %.0f MB, want ≈123", got)
+	}
+	if got := mb(res.CompressedBytes); got < 45 || got > 70 {
+		t.Errorf("compressed delta = %.0f MB, want ≈56", got)
+	}
+	if res.LinkedBytes <= 0 {
+		t.Error("nothing hard-linked despite same Android version")
+	}
+	if res.AppsPaired != 1 || res.APKBytes <= 0 {
+		t.Errorf("apps paired = %d, apk bytes = %d", res.AppsPaired, res.APKBytes)
+	}
+	if res.Duration <= 0 {
+		t.Error("zero pairing duration")
+	}
+	if !home.PairedWith(guest.Name()) || !guest.PairedWith(home.Name()) {
+		t.Error("pairing not recorded")
+	}
+	// The guest now holds a verified copy of the home frameworks.
+	if err := rsyncx.Verify(home.SystemTree(), guest.FluxDir(home.Name())); err != nil {
+		t.Errorf("flux dir diverges: %v", err)
+	}
+	// The app is pseudo-installed, not really installed.
+	inst := guest.Installed("com.example.a")
+	if inst == nil || !inst.Pseudo {
+		t.Errorf("pseudo-install = %+v", inst)
+	}
+}
+
+func TestPairIdenticalModelsLinkEverything(t *testing.T) {
+	a, err := device.New(device.Nexus7_2013("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := device.New(device.Nexus7_2013("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pairing.Pair(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransferBytes != 0 {
+		t.Errorf("identical devices transferred %d bytes, want 0 (all linked)", res.TransferBytes)
+	}
+	if res.LinkedBytes != res.ConstantBytes {
+		t.Errorf("linked %d of %d", res.LinkedBytes, res.ConstantBytes)
+	}
+}
+
+func TestRePairIsIncremental(t *testing.T) {
+	home, guest := twoDevices(t)
+	installOne(t, home, "com.example.a", 2)
+	first, err := pairing.Pair(home, guest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := pairing.Pair(home, guest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CompressedBytes != 0 {
+		t.Errorf("re-pair moved %d bytes, want 0", second.CompressedBytes)
+	}
+	if first.CompressedBytes == 0 {
+		t.Error("first pair moved nothing")
+	}
+}
+
+func TestPairSelfFails(t *testing.T) {
+	home, _ := twoDevices(t)
+	if _, err := pairing.Pair(home, home, nil); err == nil {
+		t.Error("self-pair succeeded")
+	}
+}
+
+func TestPairUnknownAppFails(t *testing.T) {
+	home, guest := twoDevices(t)
+	if _, err := pairing.Pair(home, guest, []string{"no.such.app"}); err == nil {
+		t.Error("pairing unknown app succeeded")
+	}
+}
+
+func TestVerifyAPKDetectsUpdate(t *testing.T) {
+	home, guest := twoDevices(t)
+	installOne(t, home, "com.example.a", 2)
+	if _, err := pairing.Pair(home, guest, []string{"com.example.a"}); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := pairing.VerifyAPK(home, guest, "com.example.a")
+	if err != nil || delta != 0 {
+		t.Errorf("unchanged APK: delta=%d err=%v", delta, err)
+	}
+	// App updates on home: verification must re-sync.
+	inst := home.Installed("com.example.a")
+	inst.APK.Hash = device.HashContent("com.example.a", "apk-v2")
+	inst.APK.Size = 3 << 20
+	delta, err = pairing.VerifyAPK(home, guest, "com.example.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta <= 0 {
+		t.Error("APK update not detected")
+	}
+	if guest.Installed("com.example.a").APK.Hash != inst.APK.Hash {
+		t.Error("guest APK record not refreshed")
+	}
+	if _, err := pairing.VerifyAPK(home, guest, "never.paired"); err == nil {
+		t.Error("VerifyAPK accepted unpaired app")
+	}
+}

@@ -1,0 +1,152 @@
+// Package playstore reproduces the paper's PlayDrone-based analysis of
+// Google Play (§4, Figure 17): a catalog of 488,259 free apps with an
+// install-size distribution matching the reported quantiles (roughly 60%
+// of apps under 1 MB, 90% under 10 MB) and the measured rate of apps that
+// call setPreserveEGLContextOnPause (3,300 of 488,259) — the apps Flux
+// cannot migrate. The catalog is synthesized deterministically from a
+// fixed seed, standing in for the crawled APKs per the substitution rule.
+package playstore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// PaperCatalogSize is the number of apps the paper crawled.
+const PaperCatalogSize = 488259
+
+// PaperPreserveEGLCount is the number of apps the paper found calling
+// setPreserveEGLContextOnPause.
+const PaperPreserveEGLCount = 3300
+
+// AppRecord is one crawled app's metadata.
+type AppRecord struct {
+	Package     string
+	InstallKB   int64
+	PreserveEGL bool
+}
+
+// Catalog is a synthesized Play-store crawl.
+type Catalog struct {
+	apps []AppRecord
+}
+
+// sizeQuantiles anchors the install-size CDF (fraction → kilobytes),
+// log-interpolated between anchors. Tuned to the paper's "roughly 60% of
+// apps are less than 1 MB, roughly 90% less than 10 MB".
+var sizeQuantiles = []struct {
+	p  float64
+	kb float64
+}{
+	{0.00, 10},
+	{0.15, 80},
+	{0.35, 300},
+	{0.60, 1 << 10},     // 1 MB
+	{0.90, 10 << 10},    // 10 MB
+	{0.985, 50 << 10},   // 50 MB
+	{0.9995, 500 << 10}, // 500 MB
+	{1.00, 2 << 20},     // 2 GB tail
+}
+
+// sampleSizeKB inverts the anchored CDF at u ∈ [0,1).
+func sampleSizeKB(u float64) int64 {
+	for i := 1; i < len(sizeQuantiles); i++ {
+		lo, hi := sizeQuantiles[i-1], sizeQuantiles[i]
+		if u > hi.p {
+			continue
+		}
+		frac := (u - lo.p) / (hi.p - lo.p)
+		logKB := math.Log(lo.kb) + frac*(math.Log(hi.kb)-math.Log(lo.kb))
+		return int64(math.Exp(logKB))
+	}
+	return int64(sizeQuantiles[len(sizeQuantiles)-1].kb)
+}
+
+// Generate synthesizes a catalog of n apps from a fixed seed. Use
+// PaperCatalogSize for the paper's figure; smaller n for quick tests keeps
+// the same distribution.
+func Generate(n int) *Catalog {
+	rng := rand.New(rand.NewSource(20150421)) // EuroSys'15 dates, fixed
+	apps := make([]AppRecord, n)
+	// Scale the preserve-EGL count with n so small catalogs keep the rate.
+	preserveEvery := float64(PaperCatalogSize) / float64(PaperPreserveEGLCount)
+	nextPreserve := preserveEvery
+	preserved := 0
+	for i := range apps {
+		apps[i] = AppRecord{
+			Package:   fmt.Sprintf("com.play.app%06d", i),
+			InstallKB: sampleSizeKB(rng.Float64()),
+		}
+		if float64(i+1) >= nextPreserve {
+			apps[i].PreserveEGL = true
+			preserved++
+			nextPreserve += preserveEvery
+		}
+	}
+	return &Catalog{apps: apps}
+}
+
+// Len returns the catalog size.
+func (c *Catalog) Len() int { return len(c.apps) }
+
+// Apps returns the records (not a copy; treat as read-only).
+func (c *Catalog) Apps() []AppRecord { return c.apps }
+
+// PreserveEGLCount counts apps Flux cannot migrate due to preserved
+// contexts.
+func (c *Catalog) PreserveEGLCount() int {
+	n := 0
+	for _, a := range c.apps {
+		if a.PreserveEGL {
+			n++
+		}
+	}
+	return n
+}
+
+// MigratableFraction is the share of the catalog Flux expects to handle.
+func (c *Catalog) MigratableFraction() float64 {
+	if len(c.apps) == 0 {
+		return 0
+	}
+	return 1 - float64(c.PreserveEGLCount())/float64(len(c.apps))
+}
+
+// CDFPoint is one point of Figure 17.
+type CDFPoint struct {
+	SizeKB int64
+	Frac   float64
+}
+
+// CDF evaluates the install-size CDF at the given kilobyte thresholds.
+func (c *Catalog) CDF(thresholdsKB []int64) []CDFPoint {
+	sizes := make([]int64, len(c.apps))
+	for i, a := range c.apps {
+		sizes[i] = a.InstallKB
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	out := make([]CDFPoint, len(thresholdsKB))
+	for i, th := range thresholdsKB {
+		idx := sort.Search(len(sizes), func(j int) bool { return sizes[j] > th })
+		out[i] = CDFPoint{SizeKB: th, Frac: float64(idx) / float64(len(sizes))}
+	}
+	return out
+}
+
+// FractionBelow returns the share of apps at or under kb kilobytes.
+func (c *Catalog) FractionBelow(kb int64) float64 {
+	n := 0
+	for _, a := range c.apps {
+		if a.InstallKB <= kb {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.apps))
+}
+
+// Figure17Thresholds is the paper's log-scale x axis in kilobytes.
+func Figure17Thresholds() []int64 {
+	return []int64{10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+}

@@ -1,0 +1,87 @@
+package playstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(1000)
+	b := Generate(1000)
+	for i := range a.Apps() {
+		if a.Apps()[i] != b.Apps()[i] {
+			t.Fatalf("catalogs diverge at %d", i)
+		}
+	}
+}
+
+func TestPaperQuantiles(t *testing.T) {
+	c := Generate(100_000)
+	if got := c.FractionBelow(1 << 10); got < 0.55 || got > 0.65 {
+		t.Errorf("fraction under 1MB = %.3f, paper says roughly 0.60", got)
+	}
+	if got := c.FractionBelow(10 << 10); got < 0.85 || got > 0.95 {
+		t.Errorf("fraction under 10MB = %.3f, paper says roughly 0.90", got)
+	}
+}
+
+func TestPreserveEGLRateScales(t *testing.T) {
+	c := Generate(PaperCatalogSize / 100) // ~4882 apps
+	want := PaperPreserveEGLCount / 100   // ~33
+	got := c.PreserveEGLCount()
+	if got < want-3 || got > want+3 {
+		t.Errorf("preserve-EGL count = %d, want ≈%d", got, want)
+	}
+	if frac := c.MigratableFraction(); frac < 0.99 {
+		t.Errorf("migratable fraction = %.4f, want >0.99 (paper: vast majority)", frac)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	c := Generate(20_000)
+	f := func(a, b int64) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		a %= 1 << 22
+		b %= 1 << 22
+		if a > b {
+			a, b = b, a
+		}
+		return c.FractionBelow(a) <= c.FractionBelow(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFEndpoints(t *testing.T) {
+	c := Generate(10_000)
+	pts := c.CDF(Figure17Thresholds())
+	if len(pts) != 7 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Frac > 0.05 {
+		t.Errorf("CDF(10KB) = %.3f, want near 0", pts[0].Frac)
+	}
+	if pts[len(pts)-1].Frac != 1.0 {
+		t.Errorf("CDF(10GB) = %.3f, want 1", pts[len(pts)-1].Frac)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Frac < pts[i-1].Frac {
+			t.Error("CDF not monotone across thresholds")
+		}
+	}
+}
+
+func TestSampleSizeBounds(t *testing.T) {
+	for _, u := range []float64{0, 0.1, 0.5, 0.9, 0.999, 0.99999} {
+		kb := sampleSizeKB(u)
+		if kb < 10 || kb > 2<<20 {
+			t.Errorf("sampleSizeKB(%g) = %d out of range", u, kb)
+		}
+	}
+}

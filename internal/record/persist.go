@@ -1,0 +1,112 @@
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// This file gives the call log durable storage — the role SQLite plays in
+// the paper's prototype. The on-disk format is a checksummed container of
+// per-app slices in the MarshalApp wire format, so a device reboot (or a
+// fluxtrace -o / -i round trip) does not lose recorded state.
+
+// logFileMagic identifies a Flux record-log file.
+var logFileMagic = [4]byte{'F', 'L', 'X', 'L'}
+
+const logFileVersion = 1
+
+// SaveFile writes the whole log (all apps) to path atomically.
+func (l *Log) SaveFile(path string) error {
+	apps := l.appsWithEntries()
+	var buf []byte
+	buf = append(buf, logFileMagic[:]...)
+	buf = append(buf, logFileVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(apps)))
+	for _, app := range apps {
+		blob := l.MarshalApp(app)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(app)))
+		buf = append(buf, app...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o600); err != nil {
+		return fmt.Errorf("record: writing log file: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a log file written by SaveFile into a fresh Log.
+func LoadFile(path string) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 13 {
+		return nil, fmt.Errorf("record: log file too short: %d bytes", len(data))
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("record: log file checksum mismatch")
+	}
+	if [4]byte(body[:4]) != logFileMagic {
+		return nil, fmt.Errorf("record: not a Flux log file")
+	}
+	if body[4] != logFileVersion {
+		return nil, fmt.Errorf("record: unsupported log file version %d", body[4])
+	}
+	nApps := binary.BigEndian.Uint32(body[5:])
+	body = body[9:]
+	l := NewLog()
+	for i := uint32(0); i < nApps; i++ {
+		if len(body) < 4 {
+			return nil, fmt.Errorf("record: truncated app name length")
+		}
+		nameLen := binary.BigEndian.Uint32(body)
+		body = body[4:]
+		if uint32(len(body)) < nameLen {
+			return nil, fmt.Errorf("record: truncated app name")
+		}
+		body = body[nameLen:] // name is repeated inside each entry
+		if len(body) < 4 {
+			return nil, fmt.Errorf("record: truncated app blob length")
+		}
+		blobLen := binary.BigEndian.Uint32(body)
+		body = body[4:]
+		if uint32(len(body)) < blobLen {
+			return nil, fmt.Errorf("record: truncated app blob")
+		}
+		entries, err := UnmarshalEntries(body[:blobLen])
+		if err != nil {
+			return nil, err
+		}
+		body = body[blobLen:]
+		for _, e := range entries {
+			l.Append(e)
+		}
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("record: %d trailing bytes in log file", len(body))
+	}
+	return l, nil
+}
+
+// appsWithEntries lists apps present in the log, sorted.
+func (l *Log) appsWithEntries() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	set := map[string]bool{}
+	for _, e := range l.entries {
+		set[e.App] = true
+	}
+	out := make([]string, 0, len(set))
+	for app := range set {
+		out = append(out, app)
+	}
+	sort.Strings(out)
+	return out
+}

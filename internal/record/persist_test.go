@@ -1,0 +1,104 @@
+package record
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"flux/internal/binder"
+)
+
+func sampleEntry(app, method string, seq int) *Entry {
+	p := binder.NewParcel()
+	p.WriteInt32(int32(seq))
+	p.WriteString("payload")
+	return &Entry{
+		App: app, Service: "notification", Interface: "INotificationManager",
+		Method: method, Code: 1, Handle: 2,
+		At:   time.Unix(0, int64(seq)*1e9).UTC(),
+		Data: p.Marshal(),
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 5; i++ {
+		l.Append(sampleEntry("com.a", "enqueueNotification", i))
+	}
+	l.Append(sampleEntry("com.b", "cancelNotification", 9))
+
+	path := filepath.Join(t.TempDir(), "record.flxl")
+	if err := l.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got := len(back.AppEntries("com.a")); got != 5 {
+		t.Errorf("com.a entries = %d", got)
+	}
+	if got := len(back.AppEntries("com.b")); got != 1 {
+		t.Errorf("com.b entries = %d", got)
+	}
+	e := back.AppEntries("com.a")[2]
+	if e.Method != "enqueueNotification" || e.Handle != 2 {
+		t.Errorf("entry = %+v", e)
+	}
+	p, err := e.Parcel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MustInt32(); got != 2 {
+		t.Errorf("payload seq = %d", got)
+	}
+}
+
+func TestLoadFileRejectsCorruption(t *testing.T) {
+	l := NewLog()
+	l.Append(sampleEntry("com.a", "m", 1))
+	path := filepath.Join(t.TempDir(), "record.flxl")
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle: the checksum must catch it.
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("LoadFile accepted corrupted file")
+	}
+}
+
+func TestLoadFileRejectsJunk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a log"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("LoadFile accepted junk")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("LoadFile accepted missing file")
+	}
+}
+
+func TestSaveFileEmptyLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.flxl")
+	if err := NewLog().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("empty round trip has %d entries", back.Len())
+	}
+}

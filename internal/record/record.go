@@ -1,0 +1,486 @@
+// Package record implements Flux's Selective Record mechanism (paper §3.2).
+//
+// A Recorder interposes on Binder transactions (via binder.Interposer) and
+// consults the compiled decoration rules of each registered service
+// interface. Calls to @record-decorated methods are appended to a per-app
+// call log; each new call first evaluates its @drop/@if clauses against the
+// log and removes entries it has made stale, keeping the log small.
+//
+// Drop semantics (from Table 1 and Figures 7/9 of the paper, with one
+// clarification): when a call to method M matches previously recorded calls
+// of the methods in M's @drop list — a previous call matches if, for any one
+// @if/@elif signature, every named argument is equal — the matching entries
+// are removed from the log. The keyword "this" makes M itself a drop
+// target. Additionally, if "this" is in the drop list and the match removed
+// an entry of a method *other than* M, the triggering call itself is not
+// recorded: the pair annihilated each other (enqueueNotification +
+// cancelNotification). A match that only removed previous calls to M itself
+// records the new call, because it *replaces* the old state
+// (IAlarmManager.set called twice with the same PendingIntent).
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"flux/internal/aidl"
+	"flux/internal/binder"
+)
+
+// Entry is one recorded service call.
+type Entry struct {
+	Seq       uint64
+	App       string // package name of the calling app
+	Service   string // ServiceManager registration name
+	Interface string // interface descriptor
+	Method    string
+	Code      uint32
+	Handle    binder.Handle // caller-side handle the call was issued on
+	At        time.Time     // virtual time of the call
+	Data      []byte        // marshalled request parcel
+	Reply     []byte        // marshalled reply parcel; nil for oneway calls
+}
+
+// ReplyParcel decodes the entry's reply parcel, or returns nil for oneway.
+func (e *Entry) ReplyParcel() (*binder.Parcel, error) {
+	if e.Reply == nil {
+		return nil, nil
+	}
+	return binder.UnmarshalParcel(e.Reply)
+}
+
+// Parcel decodes the entry's request parcel.
+func (e *Entry) Parcel() (*binder.Parcel, error) {
+	return binder.UnmarshalParcel(e.Data)
+}
+
+// Size returns the entry's serialized size in bytes, used for transfer
+// accounting during migration.
+func (e *Entry) Size() int {
+	return 8 + 4 + 4 + 8 + // seq, code, handle, time
+		4*4 + len(e.App) + len(e.Service) + len(e.Interface) + len(e.Method) +
+		4 + len(e.Data) + 4 + len(e.Reply)
+}
+
+// Log is the persistent call log — the simulation's stand-in for the SQLite
+// store the paper uses. Entries are per-app; pruning and extraction are by
+// app so a migration ships only the migrating app's calls.
+type Log struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	entries []*Entry
+	dropped uint64
+}
+
+// NewLog returns an empty call log.
+func NewLog() *Log { return &Log{nextSeq: 1} }
+
+// Append adds an entry, assigning its sequence number.
+func (l *Log) Append(e *Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	l.entries = append(l.entries, e)
+}
+
+// Remove deletes entries matching pred for the given app, returning how
+// many were removed.
+func (l *Log) Remove(app string, pred func(*Entry) bool) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.entries[:0]
+	removed := 0
+	for _, e := range l.entries {
+		if e.App == app && pred(e) {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	l.entries = kept
+	l.dropped += uint64(removed)
+	return removed
+}
+
+// AppEntries returns the app's entries in sequence order.
+func (l *Log) AppEntries(app string) []*Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []*Entry
+	for _, e := range l.entries {
+		if e.App == app {
+			cp := *e
+			out = append(out, &cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// DropApp removes every entry for app (used after a successful migration
+// out, and when an app is uninstalled).
+func (l *Log) DropApp(app string) int {
+	return l.Remove(app, func(*Entry) bool { return true })
+}
+
+// Len reports the number of live entries across all apps.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// DroppedTotal reports how many entries pruning has discarded over the
+// log's lifetime — the savings Selective Record buys over full record.
+func (l *Log) DroppedTotal() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// SizeBytes reports the serialized size of the app's log slice.
+func (l *Log) SizeBytes(app string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.entries {
+		if e.App == app {
+			n += e.Size()
+		}
+	}
+	return n
+}
+
+// MarshalApp serializes the app's entries for transfer inside a checkpoint.
+func (l *Log) MarshalApp(app string) []byte {
+	entries := l.AppEntries(app)
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.BigEndian.AppendUint64(buf, e.Seq)
+		buf = binary.BigEndian.AppendUint32(buf, e.Code)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.Handle))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.At.UnixNano()))
+		for _, s := range []string{e.App, e.Service, e.Interface, e.Method} {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Data)))
+		buf = append(buf, e.Data...)
+		if e.Reply == nil {
+			buf = binary.BigEndian.AppendUint32(buf, ^uint32(0))
+		} else {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Reply)))
+			buf = append(buf, e.Reply...)
+		}
+	}
+	return buf
+}
+
+// UnmarshalEntries decodes a log slice serialized by MarshalApp.
+func UnmarshalEntries(data []byte) ([]*Entry, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("record: truncated log: %d bytes", len(data))
+	}
+	n := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	out := make([]*Entry, 0, n)
+	readStr := func() (string, error) {
+		if len(data) < 4 {
+			return "", fmt.Errorf("record: truncated string length")
+		}
+		l := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return "", fmt.Errorf("record: truncated string payload")
+		}
+		s := string(data[:l])
+		data = data[l:]
+		return s, nil
+	}
+	for i := uint32(0); i < n; i++ {
+		if len(data) < 24 {
+			return nil, fmt.Errorf("record: truncated entry %d", i)
+		}
+		e := &Entry{}
+		e.Seq = binary.BigEndian.Uint64(data)
+		e.Code = binary.BigEndian.Uint32(data[8:])
+		e.Handle = binder.Handle(int32(binary.BigEndian.Uint32(data[12:])))
+		e.At = time.Unix(0, int64(binary.BigEndian.Uint64(data[16:]))).UTC()
+		data = data[24:]
+		var err error
+		if e.App, err = readStr(); err != nil {
+			return nil, err
+		}
+		if e.Service, err = readStr(); err != nil {
+			return nil, err
+		}
+		if e.Interface, err = readStr(); err != nil {
+			return nil, err
+		}
+		if e.Method, err = readStr(); err != nil {
+			return nil, err
+		}
+		if len(data) < 4 {
+			return nil, fmt.Errorf("record: truncated entry %d payload length", i)
+		}
+		l := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return nil, fmt.Errorf("record: truncated entry %d payload", i)
+		}
+		e.Data = append([]byte(nil), data[:l]...)
+		data = data[l:]
+		if len(data) < 4 {
+			return nil, fmt.Errorf("record: truncated entry %d reply length", i)
+		}
+		rl := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if rl != ^uint32(0) {
+			if uint32(len(data)) < rl {
+				return nil, fmt.Errorf("record: truncated entry %d reply", i)
+			}
+			e.Reply = append([]byte(nil), data[:rl]...)
+			data = data[rl:]
+		}
+		out = append(out, e)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("record: %d trailing bytes after log", len(data))
+	}
+	return out, nil
+}
+
+// registeredInterface couples an interface with its compiled rules.
+type registeredInterface struct {
+	itf     *aidl.Interface
+	service string
+	rules   map[string]aidl.Rule // by method name
+	full    bool                 // record every method (ablation mode)
+}
+
+// Recorder implements Selective Record. Install it on a device's Binder
+// driver with driver.AddInterposer(recorder).
+type Recorder struct {
+	log   *Log
+	now   func() time.Time
+	pkgOf func(pid int) (string, bool)
+
+	mu         sync.Mutex
+	interfaces map[string]*registeredInterface // by descriptor
+	paused     map[string]bool                 // apps with recording paused (mid-migration)
+	observed   uint64                          // all decorated-interface calls seen
+	recorded   uint64                          // calls actually appended
+}
+
+// Config carries the Recorder's environment hooks.
+type Config struct {
+	// Now supplies virtual time for entry timestamps.
+	Now func() time.Time
+	// PackageOf resolves a calling pid to its app package name. Calls from
+	// unresolvable pids (system daemons) are not recorded.
+	PackageOf func(pid int) (string, bool)
+}
+
+// NewRecorder creates a Recorder writing to log.
+func NewRecorder(log *Log, cfg Config) *Recorder {
+	if cfg.Now == nil {
+		panic("record: Config.Now is required")
+	}
+	if cfg.PackageOf == nil {
+		panic("record: Config.PackageOf is required")
+	}
+	return &Recorder{
+		log:        log,
+		now:        cfg.Now,
+		pkgOf:      cfg.PackageOf,
+		interfaces: make(map[string]*registeredInterface),
+		paused:     make(map[string]bool),
+	}
+}
+
+// Log returns the recorder's backing call log.
+func (r *Recorder) Log() *Log { return r.log }
+
+// SetPackageResolver replaces the pid→package hook. The device assembly
+// needs this because the recorder must exist before the framework runtime
+// that provides the real resolver.
+func (r *Recorder) SetPackageResolver(fn func(pid int) (string, bool)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pkgOf = fn
+}
+
+// RegisterInterface makes the recorder aware of a decorated service
+// interface registered under the given ServiceManager name.
+func (r *Recorder) RegisterInterface(serviceName string, itf *aidl.Interface) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reg := &registeredInterface{itf: itf, service: serviceName, rules: make(map[string]aidl.Rule)}
+	for _, rule := range aidl.Rules(itf) {
+		reg.rules[rule.Method] = rule
+	}
+	r.interfaces[itf.Name] = reg
+}
+
+// SetFullRecord switches an interface to full (undecorated) recording,
+// the baseline for the selective-vs-full ablation.
+func (r *Recorder) SetFullRecord(descriptor string, full bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg, ok := r.interfaces[descriptor]; ok {
+		reg.full = full
+	}
+}
+
+// Pause stops recording for one app while it migrates out.
+func (r *Recorder) Pause(app string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.paused[app] = true
+}
+
+// Resume re-enables recording for an app.
+func (r *Recorder) Resume(app string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.paused, app)
+}
+
+// Stats reports how many decorated-interface calls were observed and how
+// many were recorded (after selective suppression).
+func (r *Recorder) Stats() (observed, recorded uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.observed, r.recorded
+}
+
+// ObserveTransaction implements binder.Interposer.
+func (r *Recorder) ObserveTransaction(callingPID int, node *binder.Node, call *binder.Call) {
+	r.mu.Lock()
+	reg, ok := r.interfaces[node.Descriptor()]
+	pkgOf := r.pkgOf
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	app, ok := pkgOf(callingPID)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	if r.paused[app] {
+		r.mu.Unlock()
+		return
+	}
+	r.observed++
+	r.mu.Unlock()
+
+	m := reg.itf.MethodByCode(call.Code)
+	if m == nil {
+		return
+	}
+	if reg.full {
+		r.append(app, reg, m, call)
+		return
+	}
+	rule, decorated := reg.rules[m.Name]
+	if !decorated {
+		return
+	}
+	suppress := r.applyDrops(app, reg, m, rule, call)
+	if !suppress {
+		r.append(app, reg, m, call)
+	}
+}
+
+// applyDrops evaluates the rule's drop clauses against the log and reports
+// whether the triggering call itself should be suppressed.
+func (r *Recorder) applyDrops(app string, reg *registeredInterface, m *aidl.Method, rule aidl.Rule, call *binder.Call) bool {
+	if len(rule.DropMethods) == 0 {
+		return false
+	}
+	targets := make(map[string]bool, len(rule.DropMethods))
+	for _, name := range rule.DropMethods {
+		if name == "this" {
+			targets[m.Name] = true
+		} else {
+			targets[name] = true
+		}
+	}
+	// Precompute the triggering call's signature values.
+	sigVals := make([]map[string]string, len(rule.Signatures))
+	for i, sig := range rule.Signatures {
+		vals := make(map[string]string, len(sig))
+		for _, arg := range sig {
+			v, err := aidl.ArgString(m, call.Data, arg)
+			if err != nil {
+				return false // malformed call; record nothing, drop nothing
+			}
+			vals[arg] = v
+		}
+		sigVals[i] = vals
+	}
+	droppedOther := false
+	r.log.Remove(app, func(e *Entry) bool {
+		if e.Interface != reg.itf.Name || !targets[e.Method] {
+			return false
+		}
+		em := reg.itf.Method(e.Method)
+		if em == nil {
+			return false
+		}
+		if len(rule.Signatures) == 0 {
+			if e.Method != m.Name {
+				droppedOther = true
+			}
+			return true
+		}
+		ep, err := e.Parcel()
+		if err != nil {
+			return false
+		}
+		for i, sig := range rule.Signatures {
+			match := true
+			for _, arg := range sig {
+				ev, err := aidl.ArgString(em, ep, arg)
+				if err != nil || ev != sigVals[i][arg] {
+					match = false
+					break
+				}
+			}
+			if match {
+				if e.Method != m.Name {
+					droppedOther = true
+				}
+				return true
+			}
+		}
+		return false
+	})
+	return rule.DropsSelf() && droppedOther
+}
+
+func (r *Recorder) append(app string, reg *registeredInterface, m *aidl.Method, call *binder.Call) {
+	e := &Entry{
+		App:       app,
+		Service:   reg.service,
+		Interface: reg.itf.Name,
+		Method:    m.Name,
+		Code:      call.Code,
+		Handle:    call.Handle,
+		At:        r.now(),
+		Data:      call.Data.Marshal(),
+	}
+	if call.Reply != nil {
+		e.Reply = call.Reply.Marshal()
+	}
+	r.log.Append(e)
+	r.mu.Lock()
+	r.recorded++
+	r.mu.Unlock()
+}

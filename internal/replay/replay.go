@@ -1,0 +1,314 @@
+// Package replay implements Flux's Adaptive Replay (paper §3.2). After CRIA
+// restores an app on the guest device, the pruned Selective Record log is
+// replayed against the guest's own system services so they rebuild the
+// app-specific state the home device's services held. Replay is *adaptive*:
+// methods decorated with @replayproxy are not replayed verbatim but routed
+// through a proxy that adjusts the call to the guest —
+//
+//   - alarmMgrSet drops alarms that already fired (trigger time at or
+//     before the checkpoint instant) so the user is not re-notified;
+//   - audioSetStreamVolume rescales the volume index by the home/guest
+//     volume-step ratio;
+//   - sensorCreateConnection obtains a fresh SensorEventConnection from the
+//     guest's SensorService and injects it at the Binder handle the app
+//     held before migration;
+//   - sensorGetChannel opens a fresh event socket and dup2()s it onto the
+//     descriptor number the app expects.
+//
+// Everything else replays through the restored app's own Binder handles,
+// which CRIA re-bound to the guest's services at the original handle ids —
+// so a recorded parcel replays bit-for-bit, including embedded handles.
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"flux/internal/aidl"
+	"flux/internal/binder"
+	"flux/internal/kernel"
+	"flux/internal/record"
+	"flux/internal/services"
+)
+
+// Context carries everything a replay run needs about both sides.
+type Context struct {
+	// Pkg is the migrating app's package name.
+	Pkg string
+	// AppProc is the restored app's Binder state on the guest.
+	AppProc *binder.Proc
+	// KernProc is the restored app's kernel process on the guest.
+	KernProc *kernel.Process
+	// System is the guest's system_server.
+	System *services.System
+	// Recorder is the guest's Selective Record recorder. Proxies that
+	// rebuild state outside the Binder path (the sensor proxies) append
+	// the original log entries here so the guest's log stays complete
+	// enough to migrate the app onward or back.
+	Recorder *record.Recorder
+	// CheckpointTime is the virtual instant the checkpoint was taken on the
+	// home device. The alarm proxy compares trigger times against this —
+	// not against "now" — so an alarm due mid-migration still fires.
+	CheckpointTime time.Time
+	// HomeVolumeSteps is the home device's maximum volume index.
+	HomeVolumeSteps int32
+	// MissingServices lists guest-absent hardware services. Calls to them
+	// are skipped (counted in Stats.SkippedMissingHW); with NetworkFallback
+	// they are instead marked for remote forwarding to the home device.
+	MissingServices map[string]bool
+	// NetworkFallback allows device access to continue over the network
+	// when the guest lacks the hardware (paper §3.2, Adaptive Replay).
+	NetworkFallback bool
+}
+
+// Stats summarizes one replay run.
+type Stats struct {
+	Replayed         int // calls re-issued verbatim
+	Proxied          int // calls routed through a replay proxy
+	SkippedExpired   int // alarm-style calls filtered out by time
+	SkippedMissingHW int // calls to hardware the guest lacks
+	Forwarded        int // calls marked for network fallback to home
+}
+
+// Total returns the number of log entries consumed.
+func (s Stats) Total() int {
+	return s.Replayed + s.Proxied + s.SkippedExpired + s.SkippedMissingHW + s.Forwarded
+}
+
+// Proxy adapts one recorded call to the guest device. Returning
+// (skipped=true) counts the entry as time-filtered.
+type Proxy func(ctx *Context, e *record.Entry, m *aidl.Method) (skipped bool, err error)
+
+// Engine replays record logs. It is safe to reuse across migrations.
+type Engine struct {
+	interfaces map[string]*aidl.Interface
+	rules      map[string]map[string]aidl.Rule // descriptor → method → rule
+	proxies    map[string]Proxy
+}
+
+// NewEngine builds an engine aware of every decorated interface the
+// services package defines, with the standard Flux proxies registered.
+func NewEngine() *Engine {
+	e := &Engine{
+		interfaces: make(map[string]*aidl.Interface),
+		rules:      make(map[string]map[string]aidl.Rule),
+		proxies:    make(map[string]Proxy),
+	}
+	for _, itf := range []*aidl.Interface{
+		services.NotificationInterface,
+		services.AlarmInterface,
+		services.SensorInterface,
+		services.SensorConnectionInterface,
+		services.AudioInterface,
+		services.ActivityInterface,
+		services.ClipboardInterface,
+		services.WifiInterface,
+		services.ConnectivityInterface,
+		services.LocationInterface,
+		services.PowerInterface,
+		services.VibratorInterface,
+		services.InputMethodInterface,
+		services.InputInterface,
+		services.KeyguardInterface,
+		services.UiModeInterface,
+		services.NsdInterface,
+		services.TextServicesInterface,
+		services.CountryInterface,
+		services.CameraInterface,
+		services.BluetoothInterface,
+		services.SerialInterface,
+		services.UsbInterface,
+	} {
+		e.RegisterInterface(itf)
+	}
+	e.RegisterProxy("flux.recordreplay.Proxies.alarmMgrSet", AlarmMgrSet)
+	e.RegisterProxy("flux.recordreplay.Proxies.audioSetStreamVolume", AudioSetStreamVolume)
+	e.RegisterProxy("flux.recordreplay.Proxies.sensorCreateConnection", SensorCreateConnection)
+	e.RegisterProxy("flux.recordreplay.Proxies.sensorGetChannel", SensorGetChannel)
+	return e
+}
+
+// RegisterInterface makes the engine aware of a decorated interface.
+func (e *Engine) RegisterInterface(itf *aidl.Interface) {
+	e.interfaces[itf.Name] = itf
+	rules := make(map[string]aidl.Rule)
+	for _, r := range aidl.Rules(itf) {
+		rules[r.Method] = r
+	}
+	e.rules[itf.Name] = rules
+}
+
+// RegisterProxy installs a proxy under its @replayproxy path.
+func (e *Engine) RegisterProxy(path string, p Proxy) { e.proxies[path] = p }
+
+// Replay re-applies a record log to the guest device in sequence order.
+func (e *Engine) Replay(ctx *Context, entries []*record.Entry) (Stats, error) {
+	var stats Stats
+	for _, entry := range entries {
+		itf, ok := e.interfaces[entry.Interface]
+		if !ok {
+			return stats, fmt.Errorf("replay: unknown interface %s in log entry %d", entry.Interface, entry.Seq)
+		}
+		m := itf.Method(entry.Method)
+		if m == nil {
+			return stats, fmt.Errorf("replay: %s has no method %s (entry %d)", entry.Interface, entry.Method, entry.Seq)
+		}
+		if ctx.MissingServices[entry.Service] {
+			if ctx.NetworkFallback {
+				stats.Forwarded++
+			} else {
+				stats.SkippedMissingHW++
+			}
+			continue
+		}
+		rule := e.rules[entry.Interface][entry.Method]
+		if rule.ReplayProxy != "" {
+			proxy, ok := e.proxies[rule.ReplayProxy]
+			if !ok {
+				return stats, fmt.Errorf("replay: no proxy registered for %s", rule.ReplayProxy)
+			}
+			skipped, err := proxy(ctx, entry, m)
+			if err != nil {
+				return stats, fmt.Errorf("replay: proxy %s on entry %d: %w", rule.ReplayProxy, entry.Seq, err)
+			}
+			if skipped {
+				stats.SkippedExpired++
+			} else {
+				stats.Proxied++
+			}
+			continue
+		}
+		data, err := entry.Parcel()
+		if err != nil {
+			return stats, fmt.Errorf("replay: entry %d parcel: %w", entry.Seq, err)
+		}
+		if _, err := ctx.AppProc.Transact(entry.Handle, entry.Code, data); err != nil {
+			return stats, fmt.Errorf("replay: entry %d %s.%s: %w", entry.Seq, entry.Interface, entry.Method, err)
+		}
+		stats.Replayed++
+	}
+	return stats, nil
+}
+
+// AlarmMgrSet is the paper's Figure 10 proxy: verify the alarm is still in
+// the future relative to the checkpoint instant, then re-issue the set.
+func AlarmMgrSet(ctx *Context, e *record.Entry, m *aidl.Method) (bool, error) {
+	data, err := e.Parcel()
+	if err != nil {
+		return false, err
+	}
+	cp := data.Clone()
+	cp.MustInt32() // type
+	triggerAt := cp.MustInt64()
+	if triggerAt <= ctx.CheckpointTime.UnixMilli() {
+		return true, nil // already fired on the home device
+	}
+	_, err = ctx.AppProc.Transact(e.Handle, e.Code, data)
+	return false, err
+}
+
+// AudioSetStreamVolume rescales volume indexes by the home/guest step
+// ratio, for both setStreamVolume(stream,index,flags) and
+// adjustStreamVolume(stream,direction,flags).
+func AudioSetStreamVolume(ctx *Context, e *record.Entry, m *aidl.Method) (bool, error) {
+	data, err := e.Parcel()
+	if err != nil {
+		return false, err
+	}
+	stream := data.MustInt32()
+	val := data.MustInt32()
+	flags := data.MustInt32()
+	if m.Name == "setStreamVolume" && ctx.HomeVolumeSteps > 0 {
+		guestSteps := ctx.System.Audio.MaxSteps()
+		val = int32(float64(val)*float64(guestSteps)/float64(ctx.HomeVolumeSteps) + 0.5)
+	}
+	out, err := aidl.MarshalCallArgs(m, stream, val, flags)
+	if err != nil {
+		return false, err
+	}
+	_, err = ctx.AppProc.Transact(e.Handle, e.Code, out)
+	return false, err
+}
+
+// SensorCreateConnection re-creates a SensorEventConnection on the guest's
+// SensorService and injects it at the handle the app held before migration
+// (taken from the recorded reply parcel).
+func SensorCreateConnection(ctx *Context, e *record.Entry, m *aidl.Method) (bool, error) {
+	reply, err := e.ReplyParcel()
+	if err != nil {
+		return false, err
+	}
+	if reply == nil {
+		return false, fmt.Errorf("replay: createSensorEventConnection entry %d has no recorded reply", e.Seq)
+	}
+	origHandle := reply.MustHandle()
+	conn, err := ctx.System.Sensors.NewConnection(ctx.Pkg)
+	if err != nil {
+		return false, err
+	}
+	if err := ctx.AppProc.InjectRef(origHandle, conn.Node()); err != nil {
+		return false, fmt.Errorf("replay: injecting connection at handle %d: %w", origHandle, err)
+	}
+	appendOriginal(ctx, e)
+	return false, nil
+}
+
+// appendOriginal copies a recorded entry into the guest's log so the next
+// migration can replay it again. Proxies that reconstruct state outside the
+// normal Binder path use this; verbatim replays are re-recorded by the
+// guest's own interposer.
+func appendOriginal(ctx *Context, e *record.Entry) {
+	if ctx.Recorder == nil {
+		return
+	}
+	cp := *e
+	cp.Data = append([]byte(nil), e.Data...)
+	if e.Reply != nil {
+		cp.Reply = append([]byte(nil), e.Reply...)
+	}
+	ctx.Recorder.Log().Append(&cp)
+}
+
+// SensorGetChannel re-opens the connection's event socket and dup2()s it
+// onto the descriptor number the app held before migration.
+func SensorGetChannel(ctx *Context, e *record.Entry, m *aidl.Method) (bool, error) {
+	reply, err := e.ReplyParcel()
+	if err != nil {
+		return false, err
+	}
+	if reply == nil {
+		return false, fmt.Errorf("replay: getSensorChannel entry %d has no recorded reply", e.Seq)
+	}
+	origFD := reply.MustFD()
+	// The connection node sits at the entry's recorded handle (the create
+	// proxy put it back there). Call through Binder so the guest service
+	// opens a fresh channel in the app's fd table. Recording pauses so the
+	// guest log captures the ORIGINAL fd (which the dup2 below makes true
+	// again), not the transient fresh one.
+	if ctx.Recorder != nil {
+		ctx.Recorder.Pause(ctx.Pkg)
+		defer ctx.Recorder.Resume(ctx.Pkg)
+	}
+	fresh, err := ctx.AppProc.Transact(e.Handle, e.Code, binder.NewParcel())
+	if err != nil {
+		return false, err
+	}
+	newFD := fresh.MustFD()
+	if newFD == origFD {
+		return false, nil
+	}
+	if err := ctx.KernProc.Dup2(newFD, origFD); err != nil {
+		return false, err
+	}
+	// Tell the connection where its channel ended up.
+	node, err := ctx.AppProc.Node(e.Handle)
+	if err == nil {
+		for _, c := range ctx.System.Sensors.Connections(ctx.Pkg) {
+			if c.Node() == node {
+				c.SetChannelFD(origFD)
+			}
+		}
+	}
+	appendOriginal(ctx, e)
+	return false, nil
+}

@@ -1,0 +1,228 @@
+// Package rsyncx reproduces the file-synchronization layer Flux's pairing
+// phase is built on: rsync with --link-dest semantics. Files identical on
+// both devices are hard-linked instead of copied, and only the compressed
+// delta crosses the network — which is how the paper's 215 MB of core
+// frameworks shrinks to a 56 MB transfer (paper §4, pairing costs).
+//
+// Trees are content-addressed metadata (path, size, content hash, entropy):
+// the simulation never materializes file bytes, but all the quantities the
+// experiments need — tree size, linkable fraction, compressed delta — are
+// exact functions of the metadata.
+package rsyncx
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// File is one file's metadata. Hash identifies content: two files with
+// equal hashes are identical for linking purposes. Entropy in [0,1] is the
+// fraction of the file that survives DEFLATE.
+type File struct {
+	Path    string
+	Size    int64
+	Hash    uint64
+	Entropy float64
+}
+
+// CompressedSize is the file's wire size after compression.
+func (f File) CompressedSize() int64 {
+	if f.Entropy <= 0 {
+		return 0
+	}
+	if f.Entropy >= 1 {
+		return f.Size
+	}
+	return int64(float64(f.Size) * f.Entropy)
+}
+
+// Tree is a set of files keyed by path.
+type Tree struct {
+	mu    sync.RWMutex
+	files map[string]File
+}
+
+// NewTree returns an empty tree.
+func NewTree() *Tree { return &Tree{files: make(map[string]File)} }
+
+// Add inserts or replaces a file.
+func (t *Tree) Add(f File) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.files[f.Path] = f
+}
+
+// Remove deletes a path; missing paths are a no-op.
+func (t *Tree) Remove(path string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.files, path)
+}
+
+// Get returns the file at path.
+func (t *Tree) Get(path string) (File, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, ok := t.files[path]
+	return f, ok
+}
+
+// Len returns the file count.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.files)
+}
+
+// TotalBytes sums file sizes.
+func (t *Tree) TotalBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n int64
+	for _, f := range t.files {
+		n += f.Size
+	}
+	return n
+}
+
+// Files returns the tree's files sorted by path.
+func (t *Tree) Files() []File {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]File, 0, len(t.files))
+	for _, f := range t.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Clone returns a deep copy.
+func (t *Tree) Clone() *Tree {
+	c := NewTree()
+	for _, f := range t.Files() {
+		c.Add(f)
+	}
+	return c
+}
+
+// Equal reports whether two trees hold identical files.
+func (t *Tree) Equal(o *Tree) bool {
+	a, b := t.Files(), o.Files()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Plan describes what a sync from src onto dst must do.
+type Plan struct {
+	// Linked are src files whose content already exists anywhere in the
+	// link-dest tree (same hash): they are hard-linked, costing no
+	// transfer.
+	Linked []File
+	// Transfer are src files that must cross the network.
+	Transfer []File
+	// Delete are dst paths absent from src.
+	Delete []string
+}
+
+// TransferBytes is the raw size of the files that must move.
+func (p Plan) TransferBytes() int64 {
+	var n int64
+	for _, f := range p.Transfer {
+		n += f.Size
+	}
+	return n
+}
+
+// CompressedBytes is the wire size of the delta after compression.
+func (p Plan) CompressedBytes() int64 {
+	var n int64
+	for _, f := range p.Transfer {
+		n += f.CompressedSize()
+	}
+	return n
+}
+
+// LinkedBytes is the size avoided by hard-linking.
+func (p Plan) LinkedBytes() int64 {
+	var n int64
+	for _, f := range p.Linked {
+		n += f.Size
+	}
+	return n
+}
+
+// BuildPlan computes the sync plan bringing dst in line with src, using
+// linkDest (typically the guest's own system partition) as the hard-link
+// source, mirroring `rsync --link-dest`. linkDest may be nil.
+func BuildPlan(src, dst, linkDest *Tree) Plan {
+	var plan Plan
+	linkable := make(map[uint64]bool)
+	if linkDest != nil {
+		for _, f := range linkDest.Files() {
+			linkable[f.Hash] = true
+		}
+	}
+	for _, f := range src.Files() {
+		if have, ok := dst.Get(f.Path); ok && have.Hash == f.Hash {
+			continue // already in sync
+		}
+		if linkable[f.Hash] {
+			plan.Linked = append(plan.Linked, f)
+		} else {
+			plan.Transfer = append(plan.Transfer, f)
+		}
+	}
+	for _, f := range dst.Files() {
+		if _, ok := src.Get(f.Path); !ok {
+			plan.Delete = append(plan.Delete, f.Path)
+		}
+	}
+	sort.Strings(plan.Delete)
+	return plan
+}
+
+// Apply executes a plan onto dst, after which dst mirrors src.
+func Apply(plan Plan, dst *Tree) {
+	for _, f := range plan.Linked {
+		dst.Add(f)
+	}
+	for _, f := range plan.Transfer {
+		dst.Add(f)
+	}
+	for _, p := range plan.Delete {
+		dst.Remove(p)
+	}
+}
+
+// Sync is BuildPlan + Apply, returning the executed plan.
+func Sync(src, dst, linkDest *Tree) Plan {
+	plan := BuildPlan(src, dst, linkDest)
+	Apply(plan, dst)
+	return plan
+}
+
+// Verify checks that dst mirrors src, returning the first divergent path.
+func Verify(src, dst *Tree) error {
+	for _, f := range src.Files() {
+		have, ok := dst.Get(f.Path)
+		if !ok {
+			return fmt.Errorf("rsyncx: %s missing from destination", f.Path)
+		}
+		if have.Hash != f.Hash {
+			return fmt.Errorf("rsyncx: %s differs (hash %x vs %x)", f.Path, have.Hash, f.Hash)
+		}
+	}
+	if src.Len() != dst.Len() {
+		return fmt.Errorf("rsyncx: destination has %d extra files", dst.Len()-src.Len())
+	}
+	return nil
+}

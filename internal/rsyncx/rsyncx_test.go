@@ -1,0 +1,139 @@
+package rsyncx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tree(files ...File) *Tree {
+	t := NewTree()
+	for _, f := range files {
+		t.Add(f)
+	}
+	return t
+}
+
+func TestBuildPlanIdenticalTreesIsEmpty(t *testing.T) {
+	a := tree(File{Path: "/system/framework.jar", Size: 100, Hash: 1})
+	b := a.Clone()
+	plan := BuildPlan(a, b, nil)
+	if len(plan.Linked)+len(plan.Transfer)+len(plan.Delete) != 0 {
+		t.Errorf("plan for identical trees = %+v", plan)
+	}
+}
+
+func TestBuildPlanLinkDest(t *testing.T) {
+	src := tree(
+		File{Path: "/flux/system/libc.so", Size: 500, Hash: 0xAA, Entropy: 0.8},
+		File{Path: "/flux/system/framework.jar", Size: 1000, Hash: 0xBB, Entropy: 0.5},
+	)
+	dst := NewTree()
+	// The guest's own system partition contains an identical libc.
+	linkDest := tree(File{Path: "/system/lib/libc.so", Size: 500, Hash: 0xAA, Entropy: 0.8})
+	plan := BuildPlan(src, dst, linkDest)
+	if len(plan.Linked) != 1 || plan.Linked[0].Hash != 0xAA {
+		t.Errorf("Linked = %v", plan.Linked)
+	}
+	if len(plan.Transfer) != 1 || plan.Transfer[0].Hash != 0xBB {
+		t.Errorf("Transfer = %v", plan.Transfer)
+	}
+	if got := plan.TransferBytes(); got != 1000 {
+		t.Errorf("TransferBytes = %d", got)
+	}
+	if got := plan.CompressedBytes(); got != 500 {
+		t.Errorf("CompressedBytes = %d", got)
+	}
+	if got := plan.LinkedBytes(); got != 500 {
+		t.Errorf("LinkedBytes = %d", got)
+	}
+}
+
+func TestBuildPlanChangedFile(t *testing.T) {
+	src := tree(File{Path: "/a", Size: 10, Hash: 2})
+	dst := tree(File{Path: "/a", Size: 10, Hash: 1})
+	plan := BuildPlan(src, dst, nil)
+	if len(plan.Transfer) != 1 {
+		t.Errorf("changed file not transferred: %+v", plan)
+	}
+}
+
+func TestBuildPlanDeletes(t *testing.T) {
+	src := tree(File{Path: "/keep", Size: 1, Hash: 1})
+	dst := tree(
+		File{Path: "/keep", Size: 1, Hash: 1},
+		File{Path: "/stale", Size: 9, Hash: 9},
+	)
+	plan := BuildPlan(src, dst, nil)
+	if len(plan.Delete) != 1 || plan.Delete[0] != "/stale" {
+		t.Errorf("Delete = %v", plan.Delete)
+	}
+}
+
+func TestSyncThenVerify(t *testing.T) {
+	src := tree(
+		File{Path: "/a", Size: 1, Hash: 1},
+		File{Path: "/b", Size: 2, Hash: 2},
+	)
+	dst := tree(File{Path: "/old", Size: 3, Hash: 3})
+	Sync(src, dst, nil)
+	if err := Verify(src, dst); err != nil {
+		t.Fatalf("Verify after Sync: %v", err)
+	}
+	if !src.Equal(dst) {
+		t.Error("trees not equal after sync")
+	}
+}
+
+func TestVerifyFailures(t *testing.T) {
+	src := tree(File{Path: "/a", Size: 1, Hash: 1})
+	if err := Verify(src, NewTree()); err == nil {
+		t.Error("Verify accepted missing file")
+	}
+	if err := Verify(src, tree(File{Path: "/a", Size: 1, Hash: 2})); err == nil {
+		t.Error("Verify accepted hash mismatch")
+	}
+	if err := Verify(src, tree(File{Path: "/a", Size: 1, Hash: 1}, File{Path: "/x", Hash: 5})); err == nil {
+		t.Error("Verify accepted extra file")
+	}
+}
+
+func TestCompressedSizeBounds(t *testing.T) {
+	f := func(size int64, entropy float64) bool {
+		if size < 0 {
+			size = -size
+		}
+		file := File{Size: size, Entropy: entropy}
+		cs := file.CompressedSize()
+		return cs >= 0 && cs <= size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyncIsIdempotentProperty(t *testing.T) {
+	f := func(hashes []uint64) bool {
+		src := NewTree()
+		for i, h := range hashes {
+			src.Add(File{Path: string(rune('a' + i%26)), Size: int64(i + 1), Hash: h})
+		}
+		dst := NewTree()
+		Sync(src, dst, nil)
+		second := Sync(src, dst, nil)
+		return len(second.Transfer) == 0 && len(second.Linked) == 0 && len(second.Delete) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalBytesAndLen(t *testing.T) {
+	tr := tree(File{Path: "/a", Size: 5}, File{Path: "/b", Size: 7})
+	if tr.TotalBytes() != 12 || tr.Len() != 2 {
+		t.Errorf("TotalBytes=%d Len=%d", tr.TotalBytes(), tr.Len())
+	}
+	tr.Remove("/a")
+	if tr.TotalBytes() != 7 {
+		t.Errorf("TotalBytes after remove = %d", tr.TotalBytes())
+	}
+}

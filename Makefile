@@ -1,0 +1,39 @@
+# Flux build and verification entry points.
+#
+#   make verify   vet + build + full test suite (tier-1 gate)
+#   make race     -race pass over the concurrency-sensitive packages
+#   make bench    hot-path microbenchmarks + matrix scaling benchmarks
+#   make results  regenerate every figure and write BENCH_results.json
+
+GO ?= go
+
+.PHONY: all verify vet build test race bench results clean
+
+all: verify
+
+verify: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages with lock-free/sharded hot paths and the parallel matrix
+# driver. Keep this green: the sharded record log and the worker-pool
+# evaluation driver are only correct if they are race-clean.
+race:
+	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/record/
+	$(GO) test -bench='BenchmarkMatrixWorkers' -benchmem .
+
+results:
+	$(GO) run ./cmd/fluxbench -all -json BENCH_results.json
+
+clean:
+	rm -f BENCH_results.json

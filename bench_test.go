@@ -36,7 +36,8 @@ func BenchmarkTable3(b *testing.B) {
 	}
 }
 
-// runMatrix executes the 64-migration evaluation matrix once.
+// runMatrix executes the 64-migration evaluation matrix once, on the
+// default host-sized worker pool.
 func runMatrix(b *testing.B) []experiments.Cell {
 	b.Helper()
 	cells, err := experiments.RunMatrix()
@@ -45,6 +46,32 @@ func runMatrix(b *testing.B) []experiments.Cell {
 	}
 	return cells
 }
+
+// benchmarkMatrixWorkers measures matrix wall-clock at a fixed pool size;
+// comparing the Workers1/Workers2/Workers4 variants shows how the
+// evaluation driver scales with cores (near-linear up to the device-pair
+// simulation cost; the figures themselves are byte-identical at every
+// width, see TestMatrixDeterministicAcrossWorkerCounts).
+func benchmarkMatrixWorkers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.RunMatrixWorkers(workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 64 {
+			b.Fatalf("matrix has %d cells", len(cells))
+		}
+	}
+}
+
+// BenchmarkMatrixWorkers1 is the sequential baseline for the matrix driver.
+func BenchmarkMatrixWorkers1(b *testing.B) { benchmarkMatrixWorkers(b, 1) }
+
+// BenchmarkMatrixWorkers2 runs the matrix on two workers.
+func BenchmarkMatrixWorkers2(b *testing.B) { benchmarkMatrixWorkers(b, 2) }
+
+// BenchmarkMatrixWorkers4 runs the matrix on four workers.
+func BenchmarkMatrixWorkers4(b *testing.B) { benchmarkMatrixWorkers(b, 4) }
 
 // BenchmarkFig12 regenerates overall migration times (16 apps × 4 pairs)
 // and reports the average virtual migration time (paper: 7.88 s).

@@ -16,12 +16,19 @@
 //	fluxbench -failures            # Facebook / Subway Surfers refusals
 //	fluxbench -summary             # headline numbers vs paper
 //	fluxbench -ablations           # design ablations
+//
+// The 64-migration evaluation matrix runs on a bounded worker pool
+// (-workers, default: one per CPU); its output is byte-identical for any
+// worker count. Alongside the text output, fluxbench writes per-section
+// wall-clock and virtual-time measurements to -json (default
+// BENCH_results.json; pass -json "" to disable).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"flux"
 	"flux/internal/apps"
@@ -39,104 +46,167 @@ func main() {
 		all        = flag.Bool("all", false, "everything, in paper order")
 		benchIters = flag.Int("bench-iters", 2000, "iterations per Figure 16 benchmark")
 		playN      = flag.Int("play-n", 488259, "Figure 17 catalog size")
+		workers    = flag.Int("workers", 0, "migration-matrix worker pool size (0 = one per CPU)")
+		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty = off)")
 	)
 	flag.Parse()
-	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *all, *benchIters, *playN); err != nil {
+	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *all, *benchIters, *playN, *workers, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, fig int, pairing, failures, summary, ablations, all bool, benchIters, playN int) error {
+func run(table, fig int, pairing, failures, summary, ablations, all bool, benchIters, playN, workers int, jsonPath string) error {
 	w := os.Stdout
-	if all {
-		return flux.RunEvaluation(w, benchIters, playN)
+	if workers < 1 {
+		workers = experiments.DefaultMatrixWorkers()
 	}
+	if all {
+		res, err := flux.RunEvaluationResults(w, benchIters, playN, workers)
+		if err != nil {
+			return err
+		}
+		return writeResults(res, jsonPath)
+	}
+	res := experiments.NewResults(workers)
 	needMatrix := summary || (fig >= 12 && fig <= 15)
 	var cells []experiments.Cell
 	if needMatrix {
-		var err error
-		if cells, err = experiments.RunMatrix(); err != nil {
+		if err := res.Time("matrix", func() (map[string]float64, error) {
+			start := time.Now()
+			var err error
+			cells, err = experiments.RunMatrixWorkers(workers)
+			if err == nil {
+				fmt.Fprintf(w, "(matrix: %d migrations on %d workers in %.2fs wall-clock)\n",
+					len(cells), workers, time.Since(start).Seconds())
+			}
+			return experiments.MatrixMetrics(cells), err
+		}); err != nil {
 			return err
 		}
 	}
 	ran := false
+	timed := func(name string, fn func() (map[string]float64, error)) error {
+		ran = true
+		return res.Time(name, fn)
+	}
 	switch table {
 	case 0:
 	case 2:
-		ran = true
-		if err := experiments.Table2(w); err != nil {
+		if err := timed("table2", func() (map[string]float64, error) { return nil, experiments.Table2(w) }); err != nil {
 			return err
 		}
 	case 3:
-		ran = true
-		experiments.Table3(w)
+		if err := timed("table3", func() (map[string]float64, error) { experiments.Table3(w); return nil, nil }); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("no table %d in the paper's evaluation", table)
 	}
 	switch fig {
 	case 0:
 	case 12:
-		ran = true
-		experiments.Figure12(w, cells)
+		if err := timed("figure12", func() (map[string]float64, error) {
+			experiments.Figure12(w, cells)
+			return experiments.MatrixMetrics(cells), nil
+		}); err != nil {
+			return err
+		}
 	case 13:
-		ran = true
-		experiments.Figure13(w, cells)
+		if err := timed("figure13", func() (map[string]float64, error) {
+			experiments.Figure13(w, cells)
+			return experiments.MatrixMetrics(cells), nil
+		}); err != nil {
+			return err
+		}
 	case 14:
-		ran = true
-		experiments.Figure14(w, cells)
+		if err := timed("figure14", func() (map[string]float64, error) {
+			experiments.Figure14(w, cells)
+			return experiments.MatrixMetrics(cells), nil
+		}); err != nil {
+			return err
+		}
 	case 15:
-		ran = true
-		experiments.Figure15(w, cells)
+		if err := timed("figure15", func() (map[string]float64, error) {
+			experiments.Figure15(w, cells)
+			return experiments.MatrixMetrics(cells), nil
+		}); err != nil {
+			return err
+		}
 	case 16:
-		ran = true
-		if err := experiments.Figure16(w, benchIters); err != nil {
+		if err := timed("figure16", func() (map[string]float64, error) {
+			return nil, experiments.Figure16(w, benchIters)
+		}); err != nil {
 			return err
 		}
 	case 17:
-		ran = true
-		experiments.Figure17(w, playN)
+		if err := timed("figure17", func() (map[string]float64, error) {
+			experiments.Figure17(w, playN)
+			return nil, nil
+		}); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("no figure %d in the paper's evaluation", fig)
 	}
 	if pairing {
-		ran = true
-		if err := experiments.PairingCost(w); err != nil {
+		if err := timed("pairing", func() (map[string]float64, error) { return nil, experiments.PairingCost(w) }); err != nil {
 			return err
 		}
 	}
 	if failures {
-		ran = true
-		if err := experiments.Failures(w); err != nil {
+		if err := timed("failures", func() (map[string]float64, error) { return nil, experiments.Failures(w) }); err != nil {
 			return err
 		}
 	}
 	if summary {
-		ran = true
-		experiments.Summary(w, cells)
+		if err := timed("summary", func() (map[string]float64, error) {
+			experiments.Summary(w, cells)
+			return experiments.MatrixMetrics(cells), nil
+		}); err != nil {
+			return err
+		}
 	}
 	if ablations {
-		ran = true
 		candy := apps.ByPackage("com.king.candycrushsaga")
 		netflix := apps.ByPackage("com.netflix.mediaclient")
-		if err := experiments.AblationSelectiveVsFull(w, *candy); err != nil {
-			return err
+		steps := []struct {
+			name string
+			fn   func() (map[string]float64, error)
+		}{
+			{"ablation_selective_vs_full", func() (map[string]float64, error) {
+				return nil, experiments.AblationSelectiveVsFull(w, *candy)
+			}},
+			{"ablation_prep", func() (map[string]float64, error) { return nil, experiments.AblationPrep(w, *candy) }},
+			{"ablation_link_dest", func() (map[string]float64, error) { return nil, experiments.AblationLinkDest(w) }},
+			{"ablation_compression", func() (map[string]float64, error) {
+				return nil, experiments.AblationCompression(w, *netflix)
+			}},
+			{"ablation_post_copy", func() (map[string]float64, error) {
+				return nil, experiments.AblationPostCopy(w, *candy)
+			}},
 		}
-		if err := experiments.AblationPrep(w, *candy); err != nil {
-			return err
-		}
-		if err := experiments.AblationLinkDest(w); err != nil {
-			return err
-		}
-		if err := experiments.AblationCompression(w, *netflix); err != nil {
-			return err
-		}
-		if err := experiments.AblationPostCopy(w, *candy); err != nil {
-			return err
+		for _, s := range steps {
+			if err := timed(s.name, s.fn); err != nil {
+				return err
+			}
 		}
 	}
 	if !ran {
 		flag.Usage()
+		return nil
 	}
+	return writeResults(res, jsonPath)
+}
+
+// writeResults serializes res to jsonPath unless disabled.
+func writeResults(res *experiments.Results, jsonPath string) error {
+	if jsonPath == "" {
+		return nil
+	}
+	if err := res.WriteFile(jsonPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fluxbench: wrote %s (%d sections)\n", jsonPath, len(res.Sections))
 	return nil
 }

@@ -162,3 +162,16 @@ func PlayStoreCatalog(n int) *playstore.Catalog { return playstore.Generate(n) }
 func RunEvaluation(w io.Writer, benchIters, playN int) error {
 	return experiments.RenderAll(w, benchIters, playN)
 }
+
+// EvaluationResults is the machine-readable counterpart of the text
+// evaluation: per-section wall-clock cost plus the paper-comparable
+// virtual-time metrics.
+type EvaluationResults = experiments.Results
+
+// RunEvaluationResults is RunEvaluation with a worker count for the
+// migration matrix and machine-readable per-section results, which
+// cmd/fluxbench serializes into BENCH_results.json. workers < 1 selects
+// a host-sized pool.
+func RunEvaluationResults(w io.Writer, benchIters, playN, workers int) (*EvaluationResults, error) {
+	return experiments.RenderAllResults(w, benchIters, playN, workers)
+}

@@ -12,8 +12,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"flux/internal/apps"
@@ -78,16 +80,81 @@ func RunOne(p Pair, a apps.App) (*migration.Report, error) {
 }
 
 // RunMatrix migrates all sixteen migratable apps across all four pairs —
-// the 64 measurements behind Figures 12–15.
+// the 64 measurements behind Figures 12–15. The migrations run on a
+// bounded worker pool sized to the host (see DefaultMatrixWorkers);
+// results are deterministic and identical to a sequential run because
+// every cell builds its own devices and virtual clocks.
 func RunMatrix() ([]Cell, error) {
-	var cells []Cell
+	return RunMatrixWorkers(DefaultMatrixWorkers())
+}
+
+// DefaultMatrixWorkers returns the worker-pool size RunMatrix uses: one
+// worker per CPU, capped at the matrix width so small matrices don't
+// spawn idle goroutines.
+func DefaultMatrixWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// RunMatrixWorkers runs the evaluation matrix on exactly workers
+// goroutines. Cell order — and, because each migration is a closed
+// simulation with its own devices and virtual time, cell content — is
+// byte-identical for every worker count; 1 reproduces the old sequential
+// driver. On error the first failing cell in matrix order is reported,
+// again independent of worker count.
+func RunMatrixWorkers(workers int) ([]Cell, error) {
+	type job struct {
+		idx  int
+		pair Pair
+		app  apps.App
+	}
+	var jobs []job
 	for _, p := range Figure12Pairs() {
 		for _, a := range apps.Migratable() {
-			rep, err := RunOne(p, a)
-			if err != nil {
-				return nil, fmt.Errorf("%s / %s: %w", a.Spec.Label, p.Name, err)
+			jobs = append(jobs, job{idx: len(jobs), pair: p, app: a})
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	cells := make([]Cell, len(jobs))
+	errs := make([]error, len(jobs))
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				rep, err := RunOne(j.pair, j.app)
+				if err != nil {
+					errs[j.idx] = fmt.Errorf("%s / %s: %w", j.app.Spec.Label, j.pair.Name, err)
+					continue
+				}
+				cells[j.idx] = Cell{App: j.app, Pair: j.pair, Report: rep}
 			}
-			cells = append(cells, Cell{App: a, Pair: p, Report: rep})
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	// Report the first error in matrix order so failures are deterministic
+	// regardless of scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return cells, nil
@@ -546,35 +613,82 @@ func AblationPostCopy(w io.Writer, a apps.App) error {
 // benchIters tunes Figure 16's wall-clock measurement; playN the Figure 17
 // catalog size.
 func RenderAll(w io.Writer, benchIters, playN int) error {
-	cells, err := RunMatrix()
-	if err != nil {
-		return err
+	_, err := RenderAllResults(w, benchIters, playN, DefaultMatrixWorkers())
+	return err
+}
+
+// RenderAllResults runs every experiment on a workers-wide migration
+// matrix, writes the text evaluation to w, and returns the per-section
+// wall-clock + virtual-time measurements for machine-readable output
+// (cmd/fluxbench's BENCH_results.json).
+func RenderAllResults(w io.Writer, benchIters, playN, workers int) (*Results, error) {
+	if workers < 1 {
+		workers = DefaultMatrixWorkers()
 	}
-	sections := []func() error{
-		func() error { return Table2(w) },
-		func() error { Table3(w); return nil },
-		func() error { Figure12(w, cells); return nil },
-		func() error { Figure13(w, cells); return nil },
-		func() error { Figure14(w, cells); return nil },
-		func() error { Figure15(w, cells); return nil },
-		func() error { return Figure16(w, benchIters) },
-		func() error { Figure17(w, playN); return nil },
-		func() error { return PairingCost(w) },
-		func() error { return Failures(w) },
-		func() error { Summary(w, cells); return nil },
-		func() error { return AblationSelectiveVsFull(w, *apps.ByPackage("com.king.candycrushsaga")) },
-		func() error { return AblationPrep(w, *apps.ByPackage("com.king.candycrushsaga")) },
-		func() error { return AblationLinkDest(w) },
-		func() error { return AblationCompression(w, *apps.ByPackage("com.netflix.mediaclient")) },
-		func() error { return AblationPostCopy(w, *apps.ByPackage("com.king.candycrushsaga")) },
+	res := NewResults(workers)
+	var cells []Cell
+	if err := res.Time("matrix", func() (map[string]float64, error) {
+		var err error
+		cells, err = RunMatrixWorkers(workers)
+		return MatrixMetrics(cells), err
+	}); err != nil {
+		return nil, err
 	}
-	for i, fn := range sections {
+	sections := []struct {
+		name string
+		fn   func() (map[string]float64, error)
+	}{
+		{"table2", func() (map[string]float64, error) { return nil, Table2(w) }},
+		{"table3", func() (map[string]float64, error) { Table3(w); return nil, nil }},
+		{"figure12", func() (map[string]float64, error) {
+			Figure12(w, cells)
+			m := MatrixMetrics(cells)
+			return map[string]float64{"avg_virtual_migration_s": m["avg_virtual_migration_s"]}, nil
+		}},
+		{"figure13", func() (map[string]float64, error) {
+			Figure13(w, cells)
+			m := MatrixMetrics(cells)
+			return map[string]float64{"avg_transfer_share_pct": m["avg_transfer_share_pct"]}, nil
+		}},
+		{"figure14", func() (map[string]float64, error) {
+			Figure14(w, cells)
+			m := MatrixMetrics(cells)
+			return map[string]float64{"avg_excl_transfer_s": m["avg_excl_transfer_s"]}, nil
+		}},
+		{"figure15", func() (map[string]float64, error) {
+			Figure15(w, cells)
+			m := MatrixMetrics(cells)
+			return map[string]float64{
+				"avg_transferred_mb": m["avg_transferred_mb"],
+				"max_transferred_mb": m["max_transferred_mb"],
+			}, nil
+		}},
+		{"figure16", func() (map[string]float64, error) { return nil, Figure16(w, benchIters) }},
+		{"figure17", func() (map[string]float64, error) { Figure17(w, playN); return nil, nil }},
+		{"pairing", func() (map[string]float64, error) { return nil, PairingCost(w) }},
+		{"failures", func() (map[string]float64, error) { return nil, Failures(w) }},
+		{"summary", func() (map[string]float64, error) { Summary(w, cells); return MatrixMetrics(cells), nil }},
+		{"ablation_selective_vs_full", func() (map[string]float64, error) {
+			return nil, AblationSelectiveVsFull(w, *apps.ByPackage("com.king.candycrushsaga"))
+		}},
+		{"ablation_prep", func() (map[string]float64, error) {
+			return nil, AblationPrep(w, *apps.ByPackage("com.king.candycrushsaga"))
+		}},
+		{"ablation_link_dest", func() (map[string]float64, error) { return nil, AblationLinkDest(w) }},
+		{"ablation_compression", func() (map[string]float64, error) {
+			return nil, AblationCompression(w, *apps.ByPackage("com.netflix.mediaclient"))
+		}},
+		{"ablation_post_copy", func() (map[string]float64, error) {
+			return nil, AblationPostCopy(w, *apps.ByPackage("com.king.candycrushsaga"))
+		}},
+	}
+	for i, s := range sections {
 		if i > 0 {
 			fmt.Fprintln(w, strings.Repeat("-", 72))
 		}
-		if err := fn(); err != nil {
-			return err
+		if err := res.Time(s.name, s.fn); err != nil {
+			return nil, err
 		}
 	}
-	return nil
+	return res, nil
 }

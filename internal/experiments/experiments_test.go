@@ -2,6 +2,8 @@ package experiments_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -131,6 +133,87 @@ func TestFigureRenderers(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered output missing %q", want)
 		}
+	}
+}
+
+func TestMatrixDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The parallel matrix driver must be a pure performance change: for
+	// any worker count the figures render byte-identically to the
+	// sequential run.
+	render := func(cells []experiments.Cell) string {
+		var buf bytes.Buffer
+		experiments.Figure12(&buf, cells)
+		experiments.Figure13(&buf, cells)
+		experiments.Figure14(&buf, cells)
+		experiments.Figure15(&buf, cells)
+		experiments.Summary(&buf, cells)
+		return buf.String()
+	}
+	seq, err := experiments.RunMatrixWorkers(1)
+	if err != nil {
+		t.Fatalf("RunMatrixWorkers(1): %v", err)
+	}
+	want := render(seq)
+	for _, workers := range []int{3, 8} {
+		par, err := experiments.RunMatrixWorkers(workers)
+		if err != nil {
+			t.Fatalf("RunMatrixWorkers(%d): %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(par), len(seq))
+		}
+		for i := range par {
+			if par[i].App.Spec.Package != seq[i].App.Spec.Package || par[i].Pair.Name != seq[i].Pair.Name {
+				t.Fatalf("workers=%d: cell %d is %s/%s, want %s/%s", workers, i,
+					par[i].App.Spec.Label, par[i].Pair.Name, seq[i].App.Spec.Label, seq[i].Pair.Name)
+			}
+		}
+		if got := render(par); got != want {
+			t.Errorf("workers=%d: rendered figures differ from sequential run", workers)
+		}
+	}
+}
+
+func TestMatrixMetricsShape(t *testing.T) {
+	cells := getMatrix(t)
+	m := experiments.MatrixMetrics(cells)
+	if m["migrations"] != 64 {
+		t.Errorf("migrations metric = %v, want 64", m["migrations"])
+	}
+	for _, key := range []string{
+		"avg_virtual_migration_s", "avg_user_perceived_s", "avg_excl_transfer_s",
+		"avg_transfer_share_pct", "avg_transferred_mb", "max_transferred_mb",
+	} {
+		if m[key] <= 0 {
+			t.Errorf("metric %s = %v, want > 0", key, m[key])
+		}
+	}
+}
+
+func TestResultsTimeAndWriteFile(t *testing.T) {
+	res := experiments.NewResults(4)
+	if err := res.Time("demo", func() (map[string]float64, error) {
+		return map[string]float64{"x": 1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/BENCH_results.json"
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back experiments.Results
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back.Schema != experiments.ResultsSchemaVersion || back.MatrixWorkers != 4 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if len(back.Sections) != 1 || back.Sections[0].Name != "demo" || back.Sections[0].Metrics["x"] != 1 {
+		t.Errorf("sections = %+v", back.Sections)
 	}
 }
 

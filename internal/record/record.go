@@ -17,13 +17,20 @@
 // cancelNotification). A match that only removed previous calls to M itself
 // records the new call, because it *replaces* the old state
 // (IAlarmManager.set called twice with the same PendingIntent).
+//
+// Because the recorder sits on every decorated Binder transaction, the
+// package treats recording as a hot path: the call log is sharded per app
+// (see log.go), @drop evaluation consults a per-(interface, method) index
+// instead of scanning the log, and each entry caches the canonical string
+// form of its arguments at append time so signature matching never
+// re-parses parcels under a lock.
 package record
 
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flux/internal/aidl"
@@ -42,6 +49,19 @@ type Entry struct {
 	At        time.Time     // virtual time of the call
 	Data      []byte        // marshalled request parcel
 	Reply     []byte        // marshalled reply parcel; nil for oneway calls
+
+	// args caches the canonical string form of each request argument,
+	// keyed by parameter name — the values @if signature guards compare.
+	// The Recorder fills it at append time from the live parcel; entries
+	// loaded from disk or appended directly compute it lazily on first
+	// signature match. Immutable once set; guarded by the shard lock
+	// until then.
+	args map[string]string
+
+	// dead marks a tombstoned entry awaiting compaction. Guarded by the
+	// owning shard's lock; entries returned by AppEntries are copies and
+	// always live.
+	dead bool
 }
 
 // ReplyParcel decodes the entry's reply parcel, or returns nil for oneway.
@@ -65,120 +85,35 @@ func (e *Entry) Size() int {
 		4 + len(e.Data) + 4 + len(e.Reply)
 }
 
-// Log is the persistent call log — the simulation's stand-in for the SQLite
-// store the paper uses. Entries are per-app; pruning and extraction are by
-// app so a migration ships only the migrating app's calls.
-type Log struct {
-	mu      sync.Mutex
-	nextSeq uint64
-	entries []*Entry
-	dropped uint64
-}
-
-// NewLog returns an empty call log.
-func NewLog() *Log { return &Log{nextSeq: 1} }
-
-// Append adds an entry, assigning its sequence number.
-func (l *Log) Append(e *Entry) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	e.Seq = l.nextSeq
-	l.nextSeq++
-	l.entries = append(l.entries, e)
-}
-
-// Remove deletes entries matching pred for the given app, returning how
-// many were removed.
-func (l *Log) Remove(app string, pred func(*Entry) bool) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	kept := l.entries[:0]
-	removed := 0
-	for _, e := range l.entries {
-		if e.App == app && pred(e) {
-			removed++
-			continue
-		}
-		kept = append(kept, e)
-	}
-	l.entries = kept
-	l.dropped += uint64(removed)
-	return removed
-}
-
-// AppEntries returns the app's entries in sequence order.
-func (l *Log) AppEntries(app string) []*Entry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var out []*Entry
-	for _, e := range l.entries {
-		if e.App == app {
-			cp := *e
-			out = append(out, &cp)
+// cacheArgs extracts the canonical string form of every parameter of m
+// from the request parcel, the precomputation that lets @if matching skip
+// parcel parsing. Parameters whose value cannot be rendered are simply
+// absent, which makes them match nothing — the same outcome the parsing
+// path produced on error.
+func cacheArgs(m *aidl.Method, data *binder.Parcel) map[string]string {
+	args := make(map[string]string, len(m.Params))
+	for i, p := range m.Params {
+		if v, err := data.EntryString(i); err == nil {
+			args[p.Name] = v
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
-	return out
+	return args
 }
 
-// DropApp removes every entry for app (used after a successful migration
-// out, and when an app is uninstalled).
-func (l *Log) DropApp(app string) int {
-	return l.Remove(app, func(*Entry) bool { return true })
-}
-
-// Len reports the number of live entries across all apps.
-func (l *Log) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.entries)
-}
-
-// DroppedTotal reports how many entries pruning has discarded over the
-// log's lifetime — the savings Selective Record buys over full record.
-func (l *Log) DroppedTotal() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.dropped
-}
-
-// SizeBytes reports the serialized size of the app's log slice.
-func (l *Log) SizeBytes(app string) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	n := 0
-	for _, e := range l.entries {
-		if e.App == app {
-			n += e.Size()
-		}
-	}
-	return n
-}
-
-// MarshalApp serializes the app's entries for transfer inside a checkpoint.
-func (l *Log) MarshalApp(app string) []byte {
-	entries := l.AppEntries(app)
-	var buf []byte
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
-	for _, e := range entries {
-		buf = binary.BigEndian.AppendUint64(buf, e.Seq)
-		buf = binary.BigEndian.AppendUint32(buf, e.Code)
-		buf = binary.BigEndian.AppendUint32(buf, uint32(e.Handle))
-		buf = binary.BigEndian.AppendUint64(buf, uint64(e.At.UnixNano()))
-		for _, s := range []string{e.App, e.Service, e.Interface, e.Method} {
-			buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
-			buf = append(buf, s...)
-		}
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Data)))
-		buf = append(buf, e.Data...)
-		if e.Reply == nil {
-			buf = binary.BigEndian.AppendUint32(buf, ^uint32(0))
+// argValues returns the entry's cached argument strings, computing them
+// from the request parcel on first use. Callers must hold the owning
+// shard's lock (the Log's pruning predicates do), which also publishes
+// the memoized map safely.
+func (e *Entry) argValues(m *aidl.Method) map[string]string {
+	if e.args == nil {
+		p, err := binder.UnmarshalParcel(e.Data)
+		if err != nil {
+			e.args = map[string]string{} // malformed: matches nothing
 		} else {
-			buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Reply)))
-			buf = append(buf, e.Reply...)
+			e.args = cacheArgs(m, p)
 		}
 	}
-	return buf
+	return e.args
 }
 
 // UnmarshalEntries decodes a log slice serialized by MarshalApp.
@@ -255,7 +190,9 @@ func UnmarshalEntries(data []byte) ([]*Entry, error) {
 	return out, nil
 }
 
-// registeredInterface couples an interface with its compiled rules.
+// registeredInterface couples an interface with its compiled rules. The
+// itf, service, and rules fields are immutable after registration; full
+// is guarded by the Recorder's mutex.
 type registeredInterface struct {
 	itf     *aidl.Interface
 	service string
@@ -266,15 +203,16 @@ type registeredInterface struct {
 // Recorder implements Selective Record. Install it on a device's Binder
 // driver with driver.AddInterposer(recorder).
 type Recorder struct {
-	log   *Log
-	now   func() time.Time
-	pkgOf func(pid int) (string, bool)
+	log *Log
+	now func() time.Time
 
-	mu         sync.Mutex
+	mu         sync.RWMutex
+	pkgOf      func(pid int) (string, bool)
 	interfaces map[string]*registeredInterface // by descriptor
 	paused     map[string]bool                 // apps with recording paused (mid-migration)
-	observed   uint64                          // all decorated-interface calls seen
-	recorded   uint64                          // calls actually appended
+
+	observed atomic.Uint64 // all decorated-interface calls seen
+	recorded atomic.Uint64 // calls actually appended
 }
 
 // Config carries the Recorder's environment hooks.
@@ -354,17 +292,17 @@ func (r *Recorder) Resume(app string) {
 // Stats reports how many decorated-interface calls were observed and how
 // many were recorded (after selective suppression).
 func (r *Recorder) Stats() (observed, recorded uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.observed, r.recorded
+	return r.observed.Load(), r.recorded.Load()
 }
 
-// ObserveTransaction implements binder.Interposer.
+// ObserveTransaction implements binder.Interposer. It takes only read
+// locks on the recorder, so transactions from different apps proceed in
+// parallel; all per-call mutable state lives in the sharded log.
 func (r *Recorder) ObserveTransaction(callingPID int, node *binder.Node, call *binder.Call) {
-	r.mu.Lock()
+	r.mu.RLock()
 	reg, ok := r.interfaces[node.Descriptor()]
 	pkgOf := r.pkgOf
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	if !ok {
 		return
 	}
@@ -372,19 +310,20 @@ func (r *Recorder) ObserveTransaction(callingPID int, node *binder.Node, call *b
 	if !ok {
 		return
 	}
-	r.mu.Lock()
-	if r.paused[app] {
-		r.mu.Unlock()
+	r.mu.RLock()
+	paused := r.paused[app]
+	full := reg.full
+	r.mu.RUnlock()
+	if paused {
 		return
 	}
-	r.observed++
-	r.mu.Unlock()
+	r.observed.Add(1)
 
 	m := reg.itf.MethodByCode(call.Code)
 	if m == nil {
 		return
 	}
-	if reg.full {
+	if full {
 		r.append(app, reg, m, call)
 		return
 	}
@@ -399,20 +338,26 @@ func (r *Recorder) ObserveTransaction(callingPID int, node *binder.Node, call *b
 }
 
 // applyDrops evaluates the rule's drop clauses against the log and reports
-// whether the triggering call itself should be suppressed.
+// whether the triggering call itself should be suppressed. It visits only
+// the index buckets of the rule's drop-target methods and compares cached
+// argument strings, never re-parsing a recorded parcel.
 func (r *Recorder) applyDrops(app string, reg *registeredInterface, m *aidl.Method, rule aidl.Rule, call *binder.Call) bool {
 	if len(rule.DropMethods) == 0 {
 		return false
 	}
-	targets := make(map[string]bool, len(rule.DropMethods))
+	seen := make(map[string]bool, len(rule.DropMethods))
+	targets := make([]string, 0, len(rule.DropMethods))
 	for _, name := range rule.DropMethods {
 		if name == "this" {
-			targets[m.Name] = true
-		} else {
-			targets[name] = true
+			name = m.Name
+		}
+		if !seen[name] {
+			seen[name] = true
+			targets = append(targets, name)
 		}
 	}
-	// Precompute the triggering call's signature values.
+	// Precompute the triggering call's signature values from its live
+	// parcel.
 	sigVals := make([]map[string]string, len(rule.Signatures))
 	for i, sig := range rule.Signatures {
 		vals := make(map[string]string, len(sig))
@@ -426,10 +371,7 @@ func (r *Recorder) applyDrops(app string, reg *registeredInterface, m *aidl.Meth
 		sigVals[i] = vals
 	}
 	droppedOther := false
-	r.log.Remove(app, func(e *Entry) bool {
-		if e.Interface != reg.itf.Name || !targets[e.Method] {
-			return false
-		}
+	r.log.PruneMatching(app, reg.itf.Name, targets, func(e *Entry) bool {
 		em := reg.itf.Method(e.Method)
 		if em == nil {
 			return false
@@ -440,15 +382,11 @@ func (r *Recorder) applyDrops(app string, reg *registeredInterface, m *aidl.Meth
 			}
 			return true
 		}
-		ep, err := e.Parcel()
-		if err != nil {
-			return false
-		}
+		vals := e.argValues(em)
 		for i, sig := range rule.Signatures {
 			match := true
 			for _, arg := range sig {
-				ev, err := aidl.ArgString(em, ep, arg)
-				if err != nil || ev != sigVals[i][arg] {
+				if ev, ok := vals[arg]; !ok || ev != sigVals[i][arg] {
 					match = false
 					break
 				}
@@ -475,12 +413,11 @@ func (r *Recorder) append(app string, reg *registeredInterface, m *aidl.Method, 
 		Handle:    call.Handle,
 		At:        r.now(),
 		Data:      call.Data.Marshal(),
+		args:      cacheArgs(m, call.Data),
 	}
 	if call.Reply != nil {
 		e.Reply = call.Reply.Marshal()
 	}
 	r.log.Append(e)
-	r.mu.Lock()
-	r.recorded++
-	r.mu.Unlock()
+	r.recorded.Add(1)
 }

@@ -334,6 +334,49 @@ func TestDropAppClearsOnlyThatApp(t *testing.T) {
 	}
 }
 
+func TestDropAppDoesNotInflateDroppedTotal(t *testing.T) {
+	// DroppedTotal is documented as the savings Selective Record's pruning
+	// buys; post-migration cleanup (DropApp) must not count toward it.
+	f := newFixture(t)
+	f.call(t, f.notif, "enqueueNotification", 1, aidl.Object("n:a"))
+	f.call(t, f.notif, "cancelNotification", 1) // prune: annihilates the enqueue
+	f.call(t, f.notif, "enqueueNotification", 2, aidl.Object("n:b"))
+	f.call(t, f.alarm, "set", 0, int64(1000), aidl.Object("pi:x"))
+	if got := f.rec.Log().DroppedTotal(); got != 1 {
+		t.Fatalf("DroppedTotal before cleanup = %d, want 1", got)
+	}
+	if got := f.rec.Log().DropApp("com.example.app"); got != 2 {
+		t.Fatalf("DropApp removed %d, want 2", got)
+	}
+	if got := f.rec.Log().DroppedTotal(); got != 1 {
+		t.Errorf("DroppedTotal after DropApp = %d, want 1 (cleanup must not inflate pruning savings)", got)
+	}
+	if got := f.rec.Log().CleanupDropped(); got != 2 {
+		t.Errorf("CleanupDropped = %d, want 2", got)
+	}
+}
+
+func TestAppEntriesSequenceOrderInterleaved(t *testing.T) {
+	// Entries of one app must come back in sequence order even when other
+	// apps' appends interleave with them across shards.
+	l := NewLog()
+	for i := 0; i < 50; i++ {
+		l.Append(&Entry{App: "a", Method: "m"})
+		l.Append(&Entry{App: "b", Method: "m"})
+	}
+	for _, app := range []string{"a", "b"} {
+		got := l.AppEntries(app)
+		if len(got) != 50 {
+			t.Fatalf("%s: %d entries, want 50", app, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Seq <= got[i-1].Seq {
+				t.Fatalf("%s: out-of-order seqs %d then %d", app, got[i-1].Seq, got[i].Seq)
+			}
+		}
+	}
+}
+
 func TestSizeBytesMatchesEntrySizes(t *testing.T) {
 	f := newFixture(t)
 	f.call(t, f.notif, "enqueueNotification", 7, aidl.Object("payload"))

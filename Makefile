@@ -1,13 +1,16 @@
 # Flux build and verification entry points.
 #
-#   make verify   vet + build + full test suite (tier-1 gate)
-#   make race     -race pass over the concurrency-sensitive packages
-#   make bench    hot-path microbenchmarks + matrix scaling benchmarks
-#   make results  regenerate every figure and write BENCH_results.json
+#   make verify      vet + build + full test suite (tier-1 gate; vet
+#                    findings fail the build)
+#   make race        -race pass over the concurrency-sensitive packages
+#   make bench       hot-path microbenchmarks + matrix scaling benchmarks
+#   make results     regenerate every figure and write BENCH_results.json
+#   make trace-demo  run one telemetry-enabled migration and write a
+#                    sample Chrome trace (trace-demo.json) + stage report
 
 GO ?= go
 
-.PHONY: all verify vet build test race bench results clean
+.PHONY: all verify vet build test race bench results trace-demo clean
 
 all: verify
 
@@ -23,17 +26,25 @@ test:
 	$(GO) test ./...
 
 # The packages with lock-free/sharded hot paths and the parallel matrix
-# driver. Keep this green: the sharded record log and the worker-pool
-# evaluation driver are only correct if they are race-clean.
+# driver. Keep this green: the sharded record log, the worker-pool
+# evaluation driver, the telemetry ring/registry, and the span-instrumented
+# migration pipeline are only correct if they are race-clean.
 race:
-	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/
+	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/record/
+	$(GO) test -bench=. -benchmem ./internal/obs/
 	$(GO) test -bench='BenchmarkMatrixWorkers' -benchmem .
 
 results:
 	$(GO) run ./cmd/fluxbench -all -json BENCH_results.json
 
+# One migration with full telemetry: flamegraph-style stage breakdown on
+# stdout, Chrome trace-event JSON (chrome://tracing / ui.perfetto.dev)
+# in trace-demo.json.
+trace-demo:
+	$(GO) run ./cmd/fluxstat -app com.king.candycrushsaga -trace trace-demo.json
+
 clean:
-	rm -f BENCH_results.json
+	rm -f BENCH_results.json trace-demo.json

@@ -22,6 +22,9 @@
 // worker count. Alongside the text output, fluxbench writes per-section
 // wall-clock and virtual-time measurements to -json (default
 // BENCH_results.json; pass -json "" to disable).
+//
+// -trace enables telemetry and writes every migration's span tree
+// (one "cell" tree per matrix entry) as Chrome trace-event JSON.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"flux"
 	"flux/internal/apps"
 	"flux/internal/experiments"
+	"flux/internal/obs"
 )
 
 func main() {
@@ -48,11 +52,24 @@ func main() {
 		playN      = flag.Int("play-n", 488259, "Figure 17 catalog size")
 		workers    = flag.Int("workers", 0, "migration-matrix worker pool size (0 = one per CPU)")
 		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty = off)")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON file of all migration span trees")
 	)
 	flag.Parse()
+	if *tracePath != "" {
+		obs.SetEnabled(true)
+	}
 	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *all, *benchIters, *playN, *workers, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxbench:", err)
 		os.Exit(1)
+	}
+	if *tracePath != "" {
+		if err := obs.T().WriteChromeTraceFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "fluxbench: writing trace:", err)
+			os.Exit(1)
+		}
+		total, dropped := obs.T().Stats()
+		fmt.Fprintf(os.Stderr, "fluxbench: wrote %s (%d spans kept, %d dropped by the ring)\n",
+			*tracePath, total-dropped, dropped)
 	}
 }
 

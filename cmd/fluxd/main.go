@@ -6,7 +6,12 @@
 // Usage:
 //
 //	fluxd -app com.netflix.mediaclient -from nexus4 -to nexus7-2013
+//	fluxd -app com.whatsapp -trace trace.json -metrics
 //	fluxd -list
+//
+// -trace writes the migration's span tree as Chrome trace-event JSON
+// (load it at chrome://tracing or https://ui.perfetto.dev); -metrics
+// prints the telemetry registry in Prometheus text exposition format.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"flux"
 	"flux/internal/device"
 	"flux/internal/migration"
+	"flux/internal/obs"
 )
 
 func profileByName(name, instance string) (device.Profile, error) {
@@ -36,10 +42,12 @@ func profileByName(name, instance string) (device.Profile, error) {
 
 func main() {
 	var (
-		appPkg = flag.String("app", "com.netflix.mediaclient", "package to migrate (see -list)")
-		from   = flag.String("from", "nexus4", "home device model")
-		to     = flag.String("to", "nexus7-2013", "guest device model")
-		list   = flag.Bool("list", false, "list migratable evaluation apps")
+		appPkg    = flag.String("app", "com.netflix.mediaclient", "package to migrate (see -list)")
+		from      = flag.String("from", "nexus4", "home device model")
+		to        = flag.String("to", "nexus7-2013", "guest device model")
+		list      = flag.Bool("list", false, "list migratable evaluation apps")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file of the migration's span tree")
+		metrics   = flag.Bool("metrics", false, "print telemetry metrics in Prometheus text format after the run")
 	)
 	flag.Parse()
 	if *list {
@@ -55,9 +63,27 @@ func main() {
 		}
 		return
 	}
+	if *tracePath != "" || *metrics {
+		obs.SetEnabled(true)
+	}
 	if err := run(*appPkg, *from, *to); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxd:", err)
 		os.Exit(1)
+	}
+	if *tracePath != "" {
+		if err := obs.T().WriteChromeTraceFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "fluxd: writing trace:", err)
+			os.Exit(1)
+		}
+		total, dropped := obs.T().Stats()
+		fmt.Printf("\nwrote %s (%d spans, %d dropped)\n", *tracePath, total-dropped, dropped)
+	}
+	if *metrics {
+		fmt.Println("\n# telemetry (Prometheus text exposition)")
+		if err := obs.M().WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fluxd: writing metrics:", err)
+			os.Exit(1)
+		}
 	}
 }
 

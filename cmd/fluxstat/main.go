@@ -1,0 +1,197 @@
+// Command fluxstat runs one migration with telemetry enabled and prints a
+// flamegraph-style text breakdown of the live span tree — the paper's
+// Figure 13 stage decomposition, reproduced from spans rather than from
+// the Report's Timings array — then cross-checks the two against each
+// other: every stage span's virtual duration must agree with its Timings
+// entry within 1% (by construction they agree exactly; fluxstat fails
+// loudly if the instrumentation ever drifts).
+//
+// Usage:
+//
+//	fluxstat -app com.king.candycrushsaga -from nexus4 -to nexus7-2013
+//	fluxstat -app com.whatsapp -trace whatsapp.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flux"
+	"flux/internal/device"
+	"flux/internal/migration"
+	"flux/internal/obs"
+)
+
+func main() {
+	var (
+		appPkg    = flag.String("app", "com.king.candycrushsaga", "package to migrate")
+		from      = flag.String("from", "nexus4", "home device model")
+		to        = flag.String("to", "nexus7-2013", "guest device model")
+		tracePath = flag.String("trace", "", "also write the span tree as Chrome trace-event JSON")
+	)
+	flag.Parse()
+	obs.SetEnabled(true)
+	if err := run(*appPkg, *from, *to, *tracePath); err != nil {
+		fmt.Fprintln(os.Stderr, "fluxstat:", err)
+		os.Exit(1)
+	}
+}
+
+func profileByName(name, instance string) (device.Profile, error) {
+	switch name {
+	case "nexus4":
+		return device.Nexus4(instance), nil
+	case "nexus7", "nexus7-2012":
+		return device.Nexus7_2012(instance), nil
+	case "nexus7-2013":
+		return device.Nexus7_2013(instance), nil
+	}
+	return device.Profile{}, fmt.Errorf("unknown device %q (nexus4, nexus7-2012, nexus7-2013)", name)
+}
+
+func run(appPkg, from, to, tracePath string) error {
+	homeProfile, err := profileByName(from, "home-"+from)
+	if err != nil {
+		return err
+	}
+	guestProfile, err := profileByName(to, "guest-"+to)
+	if err != nil {
+		return err
+	}
+	app := flux.AppByPackage(appPkg)
+	if app == nil {
+		return fmt.Errorf("app %s is not in the evaluation catalog", appPkg)
+	}
+	home, err := flux.NewDevice(homeProfile)
+	if err != nil {
+		return err
+	}
+	guest, err := flux.NewDevice(guestProfile)
+	if err != nil {
+		return err
+	}
+	if err := flux.Install(home, *app); err != nil {
+		return err
+	}
+	if _, err := flux.PairDevices(home, guest, []string{appPkg}); err != nil {
+		return err
+	}
+	if _, err := flux.LaunchApp(home, *app); err != nil {
+		return err
+	}
+	rep, err := flux.Migrate(home, guest, appPkg, flux.MigrateOptions{})
+	if err != nil {
+		return err
+	}
+
+	spans := obs.SortTree(obs.T().Snapshot())
+	fmt.Printf("%s: %s → %s\n\n", app.Spec.Label, home.Name(), guest.Name())
+	printFlame(spans)
+	fmt.Println()
+	if err := printStageCheck(spans, rep); err != nil {
+		return err
+	}
+	if tracePath != "" {
+		if err := obs.T().WriteChromeTraceFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", tracePath)
+	}
+	return nil
+}
+
+// printFlame renders the span forest as an indented tree with virtual
+// durations and a proportional bar, flamegraph-style.
+func printFlame(spans []obs.SpanData) {
+	depth := obs.Depth(spans)
+	// Scale bars against the migrate root (or the longest root).
+	var total time.Duration
+	for _, s := range spans {
+		if s.Name == migration.SpanMigrate || (s.Parent == 0 && s.Virt() > total) {
+			if s.Virt() > total {
+				total = s.Virt()
+			}
+		}
+	}
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	const barWidth = 32
+	fmt.Printf("%-44s %12s  %s\n", "SPAN", "VIRTUAL", "SHARE")
+	for _, s := range spans {
+		ind := strings.Repeat("  ", depth[s.ID])
+		frac := float64(s.Virt()) / float64(total)
+		if frac < 0 {
+			frac = 0
+		}
+		n := int(frac*barWidth + 0.5)
+		if n > barWidth {
+			n = barWidth
+		}
+		bar := strings.Repeat("█", n)
+		if n == 0 && s.Virt() > 0 {
+			bar = "▏"
+		}
+		fmt.Printf("%-44s %12s  %-*s %5.1f%%\n",
+			ind+s.Name, fmtDur(s.Virt()), barWidth, bar, frac*100)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return d.Round(time.Millisecond).String()
+}
+
+// printStageCheck prints the Figure 13 stage table from the span tree and
+// verifies it against the Report's Timings array within 1%.
+func printStageCheck(spans []obs.SpanData, rep *migration.Report) error {
+	byStage := make(map[migration.Stage]time.Duration)
+	for _, s := range spans {
+		if st, ok := migration.StageBySpanName(s.Name); ok {
+			byStage[st] += s.Virt()
+		}
+	}
+	fmt.Printf("%-15s %12s %12s %8s\n", "STAGE", "SPANS", "TIMINGS", "DELTA")
+	var firstErr error
+	for _, st := range migration.Stages() {
+		fromSpans := byStage[st]
+		fromTimings := rep.Timings[st]
+		delta := fromSpans - fromTimings
+		pct := 0.0
+		if fromTimings > 0 {
+			pct = float64(delta) / float64(fromTimings) * 100
+		}
+		mark := "✓"
+		if pct > 1 || pct < -1 {
+			mark = "✗"
+			if firstErr == nil {
+				firstErr = fmt.Errorf("stage %s: span tree says %v, Timings says %v (%.2f%% apart)",
+					st, fromSpans, fromTimings, pct)
+			}
+		}
+		fmt.Printf("%-15s %12s %12s %7.2f%% %s\n",
+			st.String(), fmtDur(fromSpans), fmtDur(fromTimings), pct, mark)
+	}
+	fmt.Printf("%-15s %12s %12s\n", "total", fmtDur(sumStages(byStage)), fmtDur(rep.Timings.Total()))
+	fmt.Printf("user-perceived %v, excluding transfer %v\n",
+		rep.Timings.UserPerceived().Round(time.Millisecond),
+		rep.Timings.ExcludingTransfer().Round(time.Millisecond))
+	if firstErr != nil {
+		return fmt.Errorf("span tree and Timings disagree: %w", firstErr)
+	}
+	fmt.Println("span tree agrees with Report.Timings within 1% ✓")
+	return nil
+}
+
+func sumStages(m map[migration.Stage]time.Duration) time.Duration {
+	var sum time.Duration
+	for _, d := range m {
+		sum += d
+	}
+	return sum
+}

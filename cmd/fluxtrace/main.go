@@ -38,12 +38,15 @@ func run(appPkg string, full bool) error {
 	if app == nil {
 		return fmt.Errorf("app %s not in the evaluation catalog", appPkg)
 	}
-	entries, observed, err := trace(*app, false)
+	entries, stats, err := trace(*app, false)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s — workload: %s\n", app.Spec.Label, app.Workload)
-	fmt.Printf("selective record: %d calls observed on decorated interfaces, %d survive pruning\n\n", observed, len(entries))
+	fmt.Printf("selective record: %d calls observed on decorated interfaces, %d recorded, %d survive pruning\n",
+		stats.Observed, stats.Recorded, len(entries))
+	fmt.Printf("                  %d suppressed by @drop(this) annihilation, %d recorded entries later pruned\n\n",
+		stats.DroppedByRule, stats.Pruned)
 	printLog(entries)
 	if full {
 		fullEntries, _, err := trace(*app, true)
@@ -56,10 +59,10 @@ func run(appPkg string, full bool) error {
 	return nil
 }
 
-func trace(app flux.App, full bool) ([]*record.Entry, uint64, error) {
+func trace(app flux.App, full bool) ([]*record.Entry, record.Stats, error) {
 	dev, err := device.New(device.Nexus4("trace"))
 	if err != nil {
-		return nil, 0, err
+		return nil, record.Stats{}, err
 	}
 	if full {
 		for _, reg := range dev.System.Catalog() {
@@ -67,10 +70,9 @@ func trace(app flux.App, full bool) ([]*record.Entry, uint64, error) {
 		}
 	}
 	if _, err := apps.Launch(dev, app); err != nil {
-		return nil, 0, err
+		return nil, record.Stats{}, err
 	}
-	observed, _ := dev.Recorder.Stats()
-	return dev.Recorder.Log().AppEntries(app.Spec.Package), observed, nil
+	return dev.Recorder.Log().AppEntries(app.Spec.Package), dev.Recorder.Stats(), nil
 }
 
 func printLog(entries []*record.Entry) {
@@ -82,11 +84,4 @@ func printLog(entries []*record.Entry) {
 		}
 		fmt.Printf("%4d  %-18s %-28s h#%-6d %s\n", e.Seq, e.Service, e.Method, e.Handle, args)
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

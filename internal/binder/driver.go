@@ -12,6 +12,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"flux/internal/obs"
 )
 
 // Handle is a process-local integer naming a reference to a Binder node.
@@ -79,6 +83,11 @@ type Driver struct {
 	// interposers run before every transaction that is dispatched through
 	// the driver. Selective Record installs itself here.
 	interposers []Interposer
+
+	// namer resolves (descriptor, code) to a method name for telemetry
+	// labels; see SetMethodNamer in telemetry.go. Kept in an
+	// atomic.Value so the telemetry tap never takes d.mu.
+	namer atomic.Value // *namerBox
 }
 
 // Interposer observes transactions in flight. It runs on the caller's side
@@ -357,6 +366,13 @@ func (p *Proc) TransactOneWay(h Handle, code uint32, data *Parcel) error {
 
 func (p *Proc) transact(h Handle, code uint32, data *Parcel, oneway bool) (*Parcel, error) {
 	d := p.driver
+	// Telemetry tap (internal/obs): the disabled path is this one atomic
+	// load; the timestamp is only taken when telemetry is on.
+	telemetry := obs.Enabled()
+	var txStart time.Time
+	if telemetry {
+		txStart = time.Now()
+	}
 	d.mu.Lock()
 	if p.dead {
 		d.mu.Unlock()
@@ -439,10 +455,13 @@ func (p *Proc) transact(h Handle, code uint32, data *Parcel, oneway bool) (*Parc
 		if data != nil {
 			data.Reset()
 		}
-		obs := &Call{Code: code, Data: data, Reply: call.Reply, CallingPID: p.pid, OneWay: oneway, Handle: h}
+		observed := &Call{Code: code, Data: data, Reply: call.Reply, CallingPID: p.pid, OneWay: oneway, Handle: h}
 		for _, ip := range ips {
-			ip.ObserveTransaction(p.pid, node, obs)
+			ip.ObserveTransaction(p.pid, node, observed)
 		}
+	}
+	if telemetry {
+		d.recordTransaction(node, code, data, call.Reply, txStart)
 	}
 	return call.Reply, nil
 }

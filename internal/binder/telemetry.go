@@ -1,0 +1,73 @@
+package binder
+
+import (
+	"strconv"
+	"time"
+
+	"flux/internal/obs"
+)
+
+// This file is the Binder driver's telemetry tap: every successful
+// transaction dispatched through Proc.Transact is counted, sized, and
+// timed per (interface, method) when obs telemetry is enabled. The
+// disabled path costs one atomic bool load per transaction (see
+// obs/bench_test.go and record/bench_test.go for the overhead budget);
+// the enabled path is two counter bumps and one lock-sharded histogram
+// observation.
+
+// Telemetry metric names exposed by the driver.
+const (
+	MetricTransactions       = "flux_binder_transactions_total"
+	MetricTransactionBytes   = "flux_binder_transaction_bytes_total"
+	MetricTransactionSeconds = "flux_binder_transaction_seconds"
+)
+
+func init() {
+	m := obs.M()
+	m.Describe(MetricTransactions, "Binder transactions dispatched, by interface and method.")
+	m.Describe(MetricTransactionBytes, "Parcel bytes moved through Binder transactions, by interface and direction (request/reply).")
+	m.Describe(MetricTransactionSeconds, "Wall-clock Binder transaction latency by interface, in seconds.")
+}
+
+// MethodNamer resolves an (interface descriptor, transaction code) pair
+// to a method name for telemetry labels. The services layer installs
+// one backed by its AIDL catalog; without it, methods are labelled
+// "code_N".
+type MethodNamer func(descriptor string, code uint32) (string, bool)
+
+// methodNamer is stored out-of-band from the driver mutex so the
+// telemetry tap never takes d.mu.
+type namerBox struct{ fn MethodNamer }
+
+// SetMethodNamer installs the method-name resolver used for telemetry
+// labels. Safe to call at any time, including concurrently with
+// transactions.
+func (d *Driver) SetMethodNamer(fn MethodNamer) {
+	d.namer.Store(&namerBox{fn: fn})
+}
+
+func (d *Driver) methodLabel(descriptor string, code uint32) string {
+	if box, ok := d.namer.Load().(*namerBox); ok && box.fn != nil {
+		if name, ok := box.fn(descriptor, code); ok {
+			return name
+		}
+	}
+	return "code_" + strconv.FormatUint(uint64(code), 10)
+}
+
+// recordTransaction accounts one successful transaction. Called only
+// when obs.Enabled() was true at dispatch time.
+func (d *Driver) recordTransaction(node *Node, code uint32, data, reply *Parcel, start time.Time) {
+	m := obs.M()
+	descr := node.descr
+	method := d.methodLabel(descr, code)
+	m.Counter(MetricTransactions, "interface", descr, "method", method).Inc()
+	if data != nil {
+		m.Counter(MetricTransactionBytes, "interface", descr, "direction", "request").Add(uint64(data.Size()))
+	}
+	if reply != nil {
+		m.Counter(MetricTransactionBytes, "interface", descr, "direction", "reply").Add(uint64(reply.Size()))
+	}
+	m.Histogram(MetricTransactionSeconds, obs.DurationBuckets, "interface", descr).
+		Observe(time.Since(start).Seconds())
+}

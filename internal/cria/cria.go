@@ -22,6 +22,7 @@ import (
 	"flux/internal/android"
 	"flux/internal/binder"
 	"flux/internal/kernel"
+	"flux/internal/obs"
 	"flux/internal/record"
 )
 
@@ -128,6 +129,9 @@ type Options struct {
 	// SystemPIDs identifies system-owned processes (system_server, pid 0)
 	// whose unnamed nodes may be replay-restorable.
 	SystemPIDs map[int]bool
+	// Span optionally parents the checkpoint's telemetry sections (the
+	// migration pipeline passes its checkpoint stage span). Nil-safe.
+	Span *obs.Span
 }
 
 // Checkpoint captures app into a portable image. The app must already have
@@ -151,6 +155,7 @@ func Checkpoint(app *android.App, opts Options) (*Image, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCommonSDCard, open)
 	}
 
+	logSec := opts.Span.Child("cria.record_log")
 	img := &Image{
 		Pkg:             app.Package(),
 		Spec:            app.Spec(),
@@ -161,6 +166,7 @@ func Checkpoint(app *android.App, opts Options) (*Image, error) {
 		HomeVolumeSteps: opts.HomeVolumeSteps,
 		RecordLog:       opts.Recorder.Log().MarshalApp(app.Package()),
 	}
+	logSec.Attr(obs.Int64("bytes", int64(len(img.RecordLog)))).End()
 
 	appPIDs := make(map[int]bool, len(procs))
 	for _, p := range procs {
@@ -170,6 +176,7 @@ func Checkpoint(app *android.App, opts Options) (*Image, error) {
 	// Memory: heap and ashmem segments are checkpointed; code segments are
 	// file-backed (the pairing phase ships the files); graphics segments
 	// were freed by preparation (verified above).
+	memSec := opts.Span.Child("cria.memory")
 	for _, seg := range main.Segments() {
 		if seg.Kind == kernel.SegHeap || seg.Kind == kernel.SegAshmem {
 			img.Segments = append(img.Segments, seg)
@@ -178,7 +185,13 @@ func Checkpoint(app *android.App, opts Options) (*Image, error) {
 	for _, fd := range main.FDs() {
 		img.FDs = append(img.FDs, fd)
 	}
+	memSec.Attr(
+		obs.Int64("segments", int64(len(img.Segments))),
+		obs.Int64("fds", int64(len(img.FDs))),
+		obs.Int64("payload_bytes", img.PayloadBytes()),
+	).End()
 	// Binder handle classification (paper Figure 11).
+	handleSec := opts.Span.Child("cria.handle_table")
 	for _, he := range main.Binder().Handles() {
 		rec := HandleRecord{Handle: he.Handle, Descriptor: he.Descriptor}
 		switch {
@@ -195,12 +208,14 @@ func Checkpoint(app *android.App, opts Options) (*Image, error) {
 			case opts.ReplayRestorable[he.Descriptor] && opts.SystemPIDs[he.OwnerPID]:
 				rec.Kind = HandleReplayRestorable
 			default:
+				handleSec.End()
 				return nil, fmt.Errorf("%w: handle %d → %s (owner pid %d)",
 					ErrNonSystemConnection, he.Handle, he.Descriptor, he.OwnerPID)
 			}
 		}
 		img.Handles = append(img.Handles, rec)
 	}
+	handleSec.Attr(obs.Int64("handles", int64(len(img.Handles)))).End()
 	return img, nil
 }
 
@@ -288,6 +303,9 @@ type RestoreOptions struct {
 	// Entries returns the deserialized record log (for callers that have
 	// already parsed it); nil means parse from the image.
 	Entries []*record.Entry
+	// Span optionally parents the restore's telemetry sections (the
+	// migration pipeline passes its restore stage span). Nil-safe.
+	Span *obs.Span
 }
 
 // Restored bundles the outcome of a restore.
@@ -307,6 +325,7 @@ func Restore(img *Image, opts RestoreOptions) (*Restored, error) {
 	if opts.Runtime == nil {
 		return nil, fmt.Errorf("cria: RestoreOptions.Runtime is required")
 	}
+	wrapSec := opts.Span.Child("cria.wrapper")
 	ns := kernel.NewPIDNamespace("wrapper:" + img.Pkg)
 	app, err := opts.Runtime.RestoreApp(android.RestoreOptions{
 		Spec:      img.Spec,
@@ -315,11 +334,14 @@ func Restore(img *Image, opts RestoreOptions) (*Restored, error) {
 		VPID:      img.VPID,
 	})
 	if err != nil {
+		wrapSec.End()
 		return nil, err
 	}
+	wrapSec.Attr(obs.Int64("vpid", int64(img.VPID))).End()
 	proc := app.Process()
 	// Memory: replace the default mappings with the checkpointed set plus
 	// the file-backed code mapping (supplied by pairing).
+	memSec := opts.Span.Child("cria.memory")
 	proc.UnmapSegments(func(s kernel.MemSegment) bool { return s.Kind == kernel.SegHeap })
 	for _, seg := range img.Segments {
 		proc.MapSegment(seg)
@@ -328,10 +350,16 @@ func Restore(img *Image, opts RestoreOptions) (*Restored, error) {
 	// channels onto these reservations.
 	for _, fd := range img.FDs {
 		if err := proc.OpenFDAt(fd.Num, fd.Kind, fd.Path); err != nil {
+			memSec.End()
 			return nil, fmt.Errorf("cria: restoring fd %d: %w", fd.Num, err)
 		}
 	}
+	memSec.Attr(
+		obs.Int64("segments", int64(len(img.Segments))),
+		obs.Int64("fds", int64(len(img.FDs))),
+	).End()
 	// Binder handles.
+	handleSec := opts.Span.Child("cria.handle_table")
 	var pending []HandleRecord
 	bp := proc.Binder()
 	for _, h := range img.Handles {
@@ -341,9 +369,11 @@ func Restore(img *Image, opts RestoreOptions) (*Restored, error) {
 		case HandleSystemService:
 			node := opts.Runtime.Kernel().Binder().ServiceManager().Lookup(h.ServiceName)
 			if node == nil {
+				handleSec.End()
 				return nil, fmt.Errorf("cria: guest has no service %q for handle %d", h.ServiceName, h.Handle)
 			}
 			if err := bp.InjectRef(h.Handle, node); err != nil {
+				handleSec.End()
 				return nil, fmt.Errorf("cria: re-binding %q: %w", h.ServiceName, err)
 			}
 		case HandleInternal:
@@ -354,21 +384,30 @@ func Restore(img *Image, opts RestoreOptions) (*Restored, error) {
 				return nil
 			}))
 			if err != nil {
+				handleSec.End()
 				return nil, err
 			}
 			if err := bp.InjectRef(h.Handle, node); err != nil {
+				handleSec.End()
 				return nil, fmt.Errorf("cria: restoring internal handle %d: %w", h.Handle, err)
 			}
 		case HandleReplayRestorable:
 			pending = append(pending, h)
 		}
 	}
+	handleSec.Attr(
+		obs.Int64("handles", int64(len(img.Handles))),
+		obs.Int64("pending", int64(len(pending))),
+	).End()
 	entries := opts.Entries
 	if entries == nil {
+		logSec := opts.Span.Child("cria.record_log")
 		entries, err = record.UnmarshalEntries(img.RecordLog)
 		if err != nil {
+			logSec.End()
 			return nil, fmt.Errorf("cria: record log: %w", err)
 		}
+		logSec.Attr(obs.Int64("entries", int64(len(entries)))).End()
 	}
 	return &Restored{App: app, Entries: entries, PendingHandles: pending}, nil
 }

@@ -21,6 +21,7 @@ import (
 	"flux/internal/apps"
 	"flux/internal/device"
 	"flux/internal/migration"
+	"flux/internal/obs"
 	"flux/internal/pairing"
 	"flux/internal/playstore"
 )
@@ -50,8 +51,11 @@ type Cell struct {
 }
 
 // RunOne pairs fresh devices, launches the app with its workload, and
-// migrates it, returning the report.
-func RunOne(p Pair, a apps.App) (*migration.Report, error) {
+// migrates it, returning the report. With telemetry enabled, the whole
+// cell — pairing, workload, migration — runs under one "cell" span on the
+// home device's virtual clock, with the migration's span tree nested
+// inside it.
+func RunOne(p Pair, a apps.App) (rep *migration.Report, err error) {
 	home, err := device.New(p.Home("home"))
 	if err != nil {
 		return nil, err
@@ -60,6 +64,16 @@ func RunOne(p Pair, a apps.App) (*migration.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	cell := obs.T().Start("cell",
+		obs.String("pair", p.Name),
+		obs.String("app", a.Spec.Label),
+	).SetVirtualClock(home.Kernel.Clock().Now)
+	defer func() {
+		if err != nil {
+			cell.Attr(obs.String("error", err.Error()))
+		}
+		cell.End()
+	}()
 	if err := apps.Install(home, a); err != nil {
 		return nil, err
 	}
@@ -69,7 +83,7 @@ func RunOne(p Pair, a apps.App) (*migration.Report, error) {
 	if _, err := apps.Launch(home, a); err != nil {
 		return nil, err
 	}
-	rep, err := migration.New(home, guest, migration.Options{}).Migrate(a.Spec.Package)
+	rep, err = migration.New(home, guest, migration.Options{Span: cell}).Migrate(a.Spec.Package)
 	if err != nil {
 		return nil, err
 	}

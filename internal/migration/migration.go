@@ -21,6 +21,7 @@ import (
 	"flux/internal/cria"
 	"flux/internal/device"
 	"flux/internal/gpu"
+	"flux/internal/obs"
 	"flux/internal/pairing"
 	"flux/internal/replay"
 	"flux/internal/rsyncx"
@@ -160,6 +161,11 @@ type Options struct {
 	PostCopyWorkingSet float64
 	// Engine overrides the replay engine (tests inject failing proxies).
 	Engine *replay.Engine
+	// Span optionally parents the migration's telemetry span tree (the
+	// evaluation matrix nests each cell's migration under a cell span).
+	// Nil starts a root span on the default tracer when telemetry is
+	// enabled.
+	Span *obs.Span
 }
 
 // Migrator moves apps between a fixed pair of devices.
@@ -208,7 +214,13 @@ func apiLevel(androidVersion string) int {
 }
 
 // Migrate moves pkg from Home to Guest, returning a full report.
-func (m *Migrator) Migrate(pkg string) (*Report, error) {
+//
+// When telemetry is enabled (obs.SetEnabled), the run produces one span
+// tree — a root "migrate" span with one child per Figure 13 stage — on
+// the home device's virtual clock. Each stage's clock advances happen
+// inside its span, so span virtual durations equal the Timings entries
+// exactly (fluxstat relies on this).
+func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	if !m.Home.PairedWith(m.Guest.Name()) {
 		return nil, fmt.Errorf("%w: %s and %s", ErrNotPaired, m.Home.Name(), m.Guest.Name())
 	}
@@ -222,7 +234,7 @@ func (m *Migrator) Migrate(pkg string) (*Report, error) {
 	if app.ProviderBusy() {
 		return nil, ErrProviderBusy
 	}
-	rep := &Report{
+	rep = &Report{
 		Pkg:   pkg,
 		Home:  m.Home.Name(),
 		Guest: m.Guest.Name(),
@@ -231,7 +243,22 @@ func (m *Migrator) Migrate(pkg string) (*Report, error) {
 	homeCPU := m.Home.Profile().CPUFactor
 	guestCPU := m.Guest.Profile().CPUFactor
 
+	span := obs.ChildOf(m.Opts.Span, SpanMigrate,
+		obs.String("pkg", pkg),
+		obs.String("home", m.Home.Name()),
+		obs.String("guest", m.Guest.Name()),
+		obs.Float64("link_mbps", float64(link.Bandwidth())*8/1e6),
+	).SetVirtualClock(m.Home.Kernel.Clock().Now)
+	defer func() {
+		if err != nil {
+			span.Attr(obs.String("error", err.Error()))
+		}
+		recordOutcome(rep, err)
+		span.End()
+	}()
+
 	// ---- Stage 1: Preparation -------------------------------------------
+	sp := span.Child(StagePreparation.SpanName())
 	// Recording pauses: the app is no longer executing user work.
 	m.Home.Recorder.Pause(pkg)
 	defer m.Home.Recorder.Resume(pkg)
@@ -242,20 +269,28 @@ func (m *Migrator) Migrate(pkg string) (*Report, error) {
 	m.advanceBoth(idle)
 	texBytes := app.Spec().TextureCacheBytes
 	if err := app.HandleTrimMemory(); err != nil {
+		sp.End()
 		if errors.Is(err, gpu.ErrContextPreserved) {
 			return nil, fmt.Errorf("%w: %s", ErrPreserveEGL, pkg)
 		}
 		return nil, fmt.Errorf("migration: trim: %w", err)
 	}
 	if err := app.EGLUnload(); err != nil {
+		sp.End()
 		return nil, fmt.Errorf("migration: eglUnload: %w", err)
 	}
 	prepWork := cpuTime(60*time.Millisecond, texBytes, 400<<20, homeCPU)
 	m.advanceBoth(prepWork)
 	rep.Timings[StagePreparation] = idle + prepWork
+	sp.Attr(
+		obs.Int64("idle_wait_us", idle.Microseconds()),
+		obs.Int64("texture_cache_bytes", texBytes),
+	).End()
 
 	// ---- Stage 2: Checkpoint --------------------------------------------
+	sp = span.Child(StageCheckpoint.SpanName())
 	img, err := cria.Checkpoint(app, cria.Options{
+		Span: sp,
 		HomeDevice:      m.Home.Name(),
 		ServiceManager:  m.Home.Kernel.Binder().ServiceManager(),
 		Recorder:        m.Home.Recorder,
@@ -271,12 +306,14 @@ func (m *Migrator) Migrate(pkg string) (*Report, error) {
 		},
 	})
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	rep.StateBefore = m.Home.System.AppState(pkg)
 	rep.ImageBytes = img.PayloadBytes()
 	imgWire, err := img.WireBytes()
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	rep.CompressedImageBytes = imgWire
@@ -284,10 +321,17 @@ func (m *Migrator) Migrate(pkg string) (*Report, error) {
 	ckptDur := cpuTime(90*time.Millisecond, rep.ImageBytes, 160<<20, homeCPU)
 	m.advanceBoth(ckptDur)
 	rep.Timings[StageCheckpoint] = ckptDur
+	sp.Attr(
+		obs.Int64("image_bytes", rep.ImageBytes),
+		obs.Int64("compressed_image_bytes", rep.CompressedImageBytes),
+		obs.Int64("record_log_bytes", rep.RecordLogBytes),
+	).End()
 
 	// ---- Stage 3: Transfer ----------------------------------------------
+	sp = span.Child(StageTransfer.SpanName())
 	apkDelta, err := pairing.VerifyAPK(m.Home, m.Guest, pkg)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	rep.APKDeltaBytes = apkDelta
@@ -311,6 +355,12 @@ func (m *Migrator) Migrate(pkg string) (*Report, error) {
 	transferDur := link.TransferTime(wire)
 	m.advanceBoth(transferDur)
 	rep.Timings[StageTransfer] = transferDur
+	sp.Attr(
+		obs.Int64("wire_bytes", wire),
+		obs.Int64("apk_delta_bytes", apkDelta),
+		obs.Int64("data_delta_bytes", rep.DataDeltaBytes),
+		obs.Int64("postcopy_residual_bytes", residual),
+	).End()
 
 	// Exercise the real serialization path: the guest decodes the image
 	// it received.
@@ -324,15 +374,22 @@ func (m *Migrator) Migrate(pkg string) (*Report, error) {
 	}
 
 	// ---- Stage 4: Restore -----------------------------------------------
-	restored, err := cria.Restore(img, cria.RestoreOptions{Runtime: m.Guest.Runtime})
+	sp = span.Child(StageRestore.SpanName())
+	restored, err := cria.Restore(img, cria.RestoreOptions{Runtime: m.Guest.Runtime, Span: sp})
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	restoreDur := cpuTime(450*time.Millisecond, rep.ImageBytes, 180<<20, guestCPU)
 	m.advanceBoth(restoreDur)
 	rep.Timings[StageRestore] = restoreDur
+	sp.Attr(
+		obs.Int64("restored_entries", int64(len(restored.Entries))),
+		obs.Int64("pending_handles", int64(len(restored.PendingHandles))),
+	).End()
 
 	// ---- Stage 5: Reintegration -----------------------------------------
+	sp = span.Child(StageReintegration.SpanName())
 	ctx := &replay.Context{
 		Pkg:             pkg,
 		AppProc:         restored.App.Process().Binder(),
@@ -342,10 +399,12 @@ func (m *Migrator) Migrate(pkg string) (*Report, error) {
 		CheckpointTime:  img.CheckpointTime,
 		HomeVolumeSteps: img.HomeVolumeSteps,
 		NetworkFallback: m.Opts.NetworkFallback,
+		Span:            sp,
 	}
 	stats, err := m.engine.Replay(ctx, restored.Entries)
 	rep.ReplayStats = stats
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	// Inform the app of connectivity and hardware changes, then foreground.
@@ -373,6 +432,12 @@ func (m *Migrator) Migrate(pkg string) (*Report, error) {
 	m.advanceBoth(reintDur)
 	rep.Timings[StageReintegration] = reintDur
 	rep.App = restored.App
+	sp.Attr(
+		obs.Int64("replay_entries", int64(stats.Total())),
+		obs.Int64("replay_replayed", int64(stats.Replayed)),
+		obs.Int64("replay_proxied", int64(stats.Proxied)),
+		obs.Int64("replay_forwarded", int64(stats.Forwarded)),
+	).End()
 
 	// ---- Post-migration bookkeeping on the home device -------------------
 	rep.StateAfter = m.Guest.System.AppState(pkg)

@@ -507,9 +507,9 @@ func TestHeterogeneousKernelAndGPU(t *testing.T) {
 func TestRecordingPausedDuringMigration(t *testing.T) {
 	w := newWorld(t, spec())
 	w.runWorkload(t)
-	before, _ := w.home.Recorder.Stats()
+	before := w.home.Recorder.Stats().Observed
 	migrate(t, w)
-	after, _ := w.home.Recorder.Stats()
+	after := w.home.Recorder.Stats().Observed
 	// Replay happens on the guest; home must not have observed new calls
 	// attributable to the migrating app (its recording was paused and the
 	// app then killed).

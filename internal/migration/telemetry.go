@@ -1,0 +1,103 @@
+package migration
+
+import "flux/internal/obs"
+
+// Migration telemetry: each Migrate run is one span tree (root "migrate"
+// with one child per Figure 13 stage), and the registry accumulates
+// per-stage duration histograms on the VIRTUAL time axis — the axis the
+// paper's evaluation measures. Stage spans inherit the home device's
+// virtual clock, and every clock advance of a stage happens inside its
+// span, so a stage span's virtual duration equals its Timings entry
+// exactly (fluxstat asserts this, and timings_test.go locks it in).
+const (
+	// MetricMigrations counts Migrate runs by result (ok / error).
+	MetricMigrations = "flux_migrations_total"
+	// MetricStageSeconds is the per-stage virtual duration histogram.
+	MetricStageSeconds = "flux_migration_stage_seconds"
+	// MetricBytes counts bytes moved or produced by migrations, by kind
+	// (transferred, image, compressed_image, record_log, data_delta,
+	// apk_delta, postcopy_residual).
+	MetricBytes = "flux_migration_bytes_total"
+)
+
+// Span names of the migration tree, shared with fluxstat's breakdown.
+const (
+	SpanMigrate = "migrate"
+)
+
+// SpanName returns the stage's span name in the migration trace tree.
+func (s Stage) SpanName() string {
+	switch s {
+	case StagePreparation:
+		return "stage.preparation"
+	case StageCheckpoint:
+		return "stage.checkpoint"
+	case StageTransfer:
+		return "stage.transfer"
+	case StageRestore:
+		return "stage.restore"
+	case StageReintegration:
+		return "stage.reintegration"
+	}
+	return "stage.unknown"
+}
+
+// StageBySpanName resolves a span name back to its Stage; ok is false
+// for non-stage spans.
+func StageBySpanName(name string) (Stage, bool) {
+	for s := StagePreparation; s < numStages; s++ {
+		if s.SpanName() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Stages lists the five migration stages in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, 0, int(numStages))
+	for s := StagePreparation; s < numStages; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+func init() {
+	m := obs.M()
+	m.Describe(MetricMigrations, "Migrations attempted, by result.")
+	m.Describe(MetricStageSeconds, "Per-stage migration duration on the virtual clock, in seconds.")
+	m.Describe(MetricBytes, "Bytes moved or produced by migrations, by kind.")
+}
+
+// recordOutcome accounts one finished Migrate run.
+func recordOutcome(rep *Report, err error) {
+	if !obs.Enabled() {
+		return
+	}
+	m := obs.M()
+	if err != nil {
+		m.Counter(MetricMigrations, "result", "error").Inc()
+		return
+	}
+	m.Counter(MetricMigrations, "result", "ok").Inc()
+	for _, s := range Stages() {
+		m.Histogram(MetricStageSeconds, obs.DurationBuckets, "stage", s.String()).
+			Observe(rep.Timings[s].Seconds())
+	}
+	for _, kind := range []struct {
+		name string
+		n    int64
+	}{
+		{"transferred", rep.TransferredBytes},
+		{"image", rep.ImageBytes},
+		{"compressed_image", rep.CompressedImageBytes},
+		{"record_log", rep.RecordLogBytes},
+		{"data_delta", rep.DataDeltaBytes},
+		{"apk_delta", rep.APKDeltaBytes},
+		{"postcopy_residual", rep.PostCopyResidualBytes},
+	} {
+		if kind.n > 0 {
+			m.Counter(MetricBytes, "kind", kind.name).Add(uint64(kind.n))
+		}
+	}
+}

@@ -8,7 +8,28 @@ package netsim
 import (
 	"fmt"
 	"time"
+
+	"flux/internal/obs"
 )
+
+// Link telemetry: every TransferTime computation accounts one simulated
+// transfer — count, payload bytes, and modelled duration — labeled by the
+// radio pair so congested-band links are distinguishable.
+const (
+	// MetricTransfers counts simulated link transfers by link.
+	MetricTransfers = "flux_net_transfers_total"
+	// MetricTransferBytes counts payload bytes shipped, by link.
+	MetricTransferBytes = "flux_net_transfer_bytes_total"
+	// MetricTransferSeconds is the modelled transfer duration histogram.
+	MetricTransferSeconds = "flux_net_transfer_seconds"
+)
+
+func init() {
+	m := obs.M()
+	m.Describe(MetricTransfers, "Simulated wireless transfers, by link.")
+	m.Describe(MetricTransferBytes, "Payload bytes shipped over simulated links.")
+	m.Describe(MetricTransferSeconds, "Modelled transfer durations on the virtual clock, in seconds.")
+}
 
 // Radio describes one device's WiFi adapter as deployed (i.e. effective
 // rates on the evaluation network, not the datasheet rate).
@@ -62,6 +83,18 @@ func (l Link) TransferTime(n int64) time.Duration {
 	if n < 0 {
 		n = 0
 	}
+	d := l.transferTime(n)
+	if obs.Enabled() {
+		m := obs.M()
+		label := l.A.Name + "<->" + l.B.Name
+		m.Counter(MetricTransfers, "link", label).Inc()
+		m.Counter(MetricTransferBytes, "link", label).Add(uint64(n))
+		m.Histogram(MetricTransferSeconds, obs.DurationBuckets, "link", label).Observe(d.Seconds())
+	}
+	return d
+}
+
+func (l Link) transferTime(n int64) time.Duration {
 	bw := l.Bandwidth()
 	if bw <= 0 {
 		return l.Latency()

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The overhead budget: instrumentation sites on the record/Binder hot
+// path do `if obs.Enabled() { ... }`, so the disabled cost is one atomic
+// bool load — these benchmarks pin that down, and the enabled cases
+// bound what turning telemetry on costs.
+
+func BenchmarkEnabledCheckDisabled(b *testing.B) {
+	SetEnabled(false)
+	b.ReportAllocs()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			n++
+		}
+	}
+	if n != 0 {
+		b.Fatal("unexpected")
+	}
+}
+
+func BenchmarkDisabledSpanStartEnd(b *testing.B) {
+	tr := NewTracer(64)
+	tr.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("noop")
+		s.Attr(Int64("k", 1))
+		s.End()
+	}
+}
+
+func BenchmarkEnabledSpanStartEnd(b *testing.B) {
+	tr := NewTracer(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start("span", Int64("k", 1)).End()
+	}
+}
+
+func BenchmarkCounterIncCachedHandle(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("flux_bench_total", "service", "alarm")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncLookup(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("flux_bench_total", "service", "alarm").Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("flux_bench_seconds", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0003)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("flux_bench_par_seconds", DurationBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.0003)
+		}
+	})
+}
+
+func BenchmarkSnapshot1kSpans(b *testing.B) {
+	tr := NewTracer(1024)
+	clock := func() time.Time { return time.Unix(0, 0) }
+	for i := 0; i < 1024; i++ {
+		tr.Start("s").SetVirtualClock(clock).End()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(tr.Snapshot()); got != 1024 {
+			b.Fatal(got)
+		}
+	}
+}

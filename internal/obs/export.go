@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON
+// ---------------------------------------------------------------------------
+
+// chromeEvent is one entry of the Chrome trace-event format's
+// traceEvents array (the subset chrome://tracing and Perfetto render).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes spans as Chrome trace-event JSON, loadable
+// in chrome://tracing and Perfetto. Each span tree (one migration, one
+// trace run) becomes a thread row (tid = root span id); within a tree,
+// events are positioned and sized on the VIRTUAL time axis, so stage
+// widths reproduce the paper's Figure 13 shape rather than host wall
+// time. Trees are offset against each other by their wall start, so a
+// parallel evaluation matrix lays out as it actually ran.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	if len(spans) == 0 {
+		return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"})
+	}
+	// Index root spans so children can be positioned relative to their
+	// tree's virtual origin.
+	rootVirt := make(map[uint64]time.Time)
+	rootWall := make(map[uint64]time.Time)
+	rootName := make(map[uint64]string)
+	minWall := spans[0].StartWall
+	for _, s := range spans {
+		if s.StartWall.Before(minWall) {
+			minWall = s.StartWall
+		}
+		if s.Parent == 0 {
+			rootVirt[s.ID] = s.StartVirt
+			rootWall[s.ID] = s.StartWall
+			rootName[s.ID] = s.Name
+		}
+	}
+	trace := chromeTrace{DisplayTimeUnit: "ms"}
+	seenTID := make(map[uint64]bool)
+	for _, s := range spans {
+		base, ok := rootVirt[s.Root]
+		wallBase, wok := rootWall[s.Root]
+		if !ok || !wok {
+			// Root evicted from the ring: anchor the span on itself.
+			base, wallBase = s.StartVirt, s.StartWall
+		}
+		ts := float64(wallBase.Sub(minWall).Microseconds()) +
+			float64(s.StartVirt.Sub(base).Microseconds())
+		ev := chromeEvent{
+			Name:  s.Name,
+			Cat:   "flux",
+			Phase: "X",
+			TS:    ts,
+			Dur:   float64(s.Virt().Microseconds()),
+			PID:   1,
+			TID:   s.Root,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ev)
+		if !seenTID[s.Root] {
+			seenTID[s.Root] = true
+			name := rootName[s.Root]
+			if name == "" {
+				name = fmt.Sprintf("tree %d", s.Root)
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				PID:   1,
+				TID:   s.Root,
+				Args:  map[string]any{"name": fmt.Sprintf("%s #%d", name, s.Root)},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(trace)
+}
+
+// WriteChromeTraceFile dumps the tracer's retained spans to path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, t.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one line per series,
+// histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.Snapshot() {
+		help := fam.Help
+		if help == "" {
+			help = fam.Name
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			fam.Name, escapeHelp(help), fam.Name, fam.Type); err != nil {
+			return err
+		}
+		for _, pt := range fam.Series {
+			if err := writePromSeries(w, fam, pt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromSeries(w io.Writer, fam FamilySnapshot, pt SeriesPoint) error {
+	if fam.Type != TypeHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.Name, promLabels(pt.Labels, "", 0), promFloat(pt.Value))
+		return err
+	}
+	if pt.Hist == nil {
+		return nil
+	}
+	cum := uint64(0)
+	for i, ub := range pt.Hist.Buckets {
+		cum += pt.Hist.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, promLabels(pt.Labels, "le", ub), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, promLabels(pt.Labels, "le", math.Inf(1)), pt.Hist.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.Name, promLabels(pt.Labels, "", 0), promFloat(pt.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.Name, promLabels(pt.Labels, "", 0), pt.Hist.Count)
+	return err
+}
+
+// promLabels renders {k="v",...}, optionally appending an le bound.
+func promLabels(labels []string, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], escapeLabel(labels[i+1]))
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", leKey, promFloat(le))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: integers
+// without a decimal point, +Inf spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+func escapeLabel(s string) string {
+	// %q already escapes \ and "; nothing further needed.
+	return s
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ---------------------------------------------------------------------------
+// Plain JSON dump
+// ---------------------------------------------------------------------------
+
+type jsonSpan struct {
+	ID     uint64         `json:"id"`
+	Parent uint64         `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	WallUS int64          `json:"wall_us"`
+	VirtUS int64          `json:"virt_us"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+type jsonSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Sum    *float64          `json:"sum,omitempty"`
+	Count  *uint64           `json:"count,omitempty"`
+}
+
+type jsonMetric struct {
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []jsonSeries `json:"series"`
+}
+
+type jsonDump struct {
+	Spans   []jsonSpan            `json:"spans"`
+	Metrics map[string]jsonMetric `json:"metrics"`
+}
+
+// WriteJSON dumps spans and metrics as one plain JSON document — the
+// exporter for tooling that wants neither the Chrome schema nor
+// Prometheus scraping.
+func WriteJSON(w io.Writer, spans []SpanData, metrics []FamilySnapshot) error {
+	dump := jsonDump{Metrics: make(map[string]jsonMetric)}
+	for _, s := range spans {
+		js := jsonSpan{
+			ID:     s.ID,
+			Parent: s.Parent,
+			Name:   s.Name,
+			WallUS: s.Wall().Microseconds(),
+			VirtUS: s.Virt().Microseconds(),
+		}
+		if len(s.Attrs) > 0 {
+			js.Attrs = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				js.Attrs[a.Key] = a.Value
+			}
+		}
+		dump.Spans = append(dump.Spans, js)
+	}
+	for _, fam := range metrics {
+		jm := jsonMetric{Type: fam.Type.String(), Help: fam.Help}
+		for _, pt := range fam.Series {
+			js := jsonSeries{}
+			if len(pt.Labels) > 0 {
+				js.Labels = make(map[string]string, len(pt.Labels)/2)
+				for i := 0; i+1 < len(pt.Labels); i += 2 {
+					js.Labels[pt.Labels[i]] = pt.Labels[i+1]
+				}
+			}
+			if fam.Type == TypeHistogram {
+				if pt.Hist != nil {
+					sum, count := pt.Hist.Sum, pt.Hist.Count
+					js.Sum, js.Count = &sum, &count
+				}
+			} else {
+				v := pt.Value
+				js.Value = &v
+			}
+			jm.Series = append(jm.Series, js)
+		}
+		dump.Metrics[fam.Name] = jm
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(dump)
+}
+
+// SortTree orders spans depth-first by tree: each root followed by its
+// descendants in virtual start order — the order a flamegraph-style
+// text rendering wants. Spans whose parent is missing are treated as
+// roots.
+func SortTree(spans []SpanData) []SpanData {
+	children := make(map[uint64][]SpanData)
+	byID := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = true
+	}
+	var roots []SpanData
+	for _, s := range spans {
+		if s.Parent == 0 || !byID[s.Parent] {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	order := func(list []SpanData) {
+		sort.SliceStable(list, func(i, j int) bool {
+			if !list[i].StartVirt.Equal(list[j].StartVirt) {
+				return list[i].StartVirt.Before(list[j].StartVirt)
+			}
+			return list[i].ID < list[j].ID
+		})
+	}
+	order(roots)
+	for _, c := range children {
+		order(c)
+	}
+	out := make([]SpanData, 0, len(spans))
+	var walk func(s SpanData)
+	walk = func(s SpanData) {
+		out = append(out, s)
+		for _, c := range children[s.ID] {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return out
+}
+
+// Depth returns each span's nesting depth (roots at 0) keyed by span id,
+// for indentation in text renderings.
+func Depth(spans []SpanData) map[uint64]int {
+	parent := make(map[uint64]uint64, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	depth := make(map[uint64]int, len(spans))
+	var depthOf func(id uint64) int
+	depthOf = func(id uint64) int {
+		if d, ok := depth[id]; ok {
+			return d
+		}
+		p := parent[id]
+		if p == 0 {
+			depth[id] = 0
+			return 0
+		}
+		if _, known := parent[p]; !known {
+			depth[id] = 0
+			return 0
+		}
+		// Guard against cycles (cannot happen with well-formed spans).
+		depth[id] = -1
+		d := depthOf(p) + 1
+		depth[id] = d
+		return d
+	}
+	for _, s := range spans {
+		depthOf(s.ID)
+	}
+	return depth
+}

@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// MetricType distinguishes the exposition shapes.
+type MetricType int
+
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("metrictype(%d)", int(t))
+}
+
+// Fixed bucket layouts. Keeping the layouts fixed (rather than
+// per-series configurable) means every histogram in the system is
+// directly comparable and the exposition format never changes shape.
+var (
+	// DurationBuckets covers 1µs–60s in a 1-2.5-5 progression, in
+	// seconds: wide enough for both a Binder transaction (~µs) and a
+	// whole migration over congested 2.4 GHz WiFi (~tens of seconds).
+	DurationBuckets = []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+		1, 2.5, 5, 10, 30, 60,
+	}
+	// ByteBuckets covers 64 B–256 MB in powers of four: parcel payloads
+	// at the low end, checkpoint images at the high end.
+	ByteBuckets = []float64{
+		64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+		1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
+	}
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histShards stripes histogram state so concurrent observers (the
+// parallel migration matrix, per-app Binder threads) rarely share a
+// lock. Must be a power of two.
+const histShards = 16
+
+type histShard struct {
+	mu     sync.Mutex
+	counts []uint64 // one per bucket bound
+	sum    float64
+	count  uint64
+	_      [40]byte // keep shards off each other's cache lines
+}
+
+// Histogram is a fixed-bucket, lock-sharded histogram. Observations take
+// one shard mutex chosen by the caller's stack address, so goroutines
+// consistently hit "their" shard; reads aggregate across shards.
+type Histogram struct {
+	buckets []float64 // ascending upper bounds, +Inf implicit
+	shards  [histShards]histShard
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	h := &Histogram{buckets: buckets}
+	for i := range h.shards {
+		h.shards[i].counts = make([]uint64, len(buckets))
+	}
+	return h
+}
+
+// shardIdx derives a shard from the goroutine's stack address: distinct
+// goroutines live on distinct stacks, so each observer settles on a
+// stable shard without any shared state. The multiply-shift spreads
+// allocator-aligned addresses across shards.
+func shardIdx() uint64 {
+	var probe byte
+	p := uint64(uintptr(unsafe.Pointer(&probe)))
+	return (p * 0x9E3779B97F4A7C15) >> 60 & (histShards - 1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	s := &h.shards[shardIdx()]
+	s.mu.Lock()
+	for i, ub := range h.buckets {
+		if v <= ub {
+			s.counts[i]++
+			break
+		}
+	}
+	s.sum += v
+	s.count++
+	s.mu.Unlock()
+}
+
+// HistogramSnapshot is an aggregated view of a histogram.
+type HistogramSnapshot struct {
+	Buckets []float64 // upper bounds
+	Counts  []uint64  // per-bucket (non-cumulative) counts
+	Sum     float64
+	Count   uint64
+}
+
+// Snapshot aggregates all shards.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Buckets: h.buckets,
+		Counts:  make([]uint64, len(h.buckets)),
+	}
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		for j, c := range s.counts {
+			snap.Counts[j] += c
+		}
+		snap.Sum += s.sum
+		snap.Count += s.count
+		s.mu.Unlock()
+	}
+	return snap
+}
+
+func (h *Histogram) reset() {
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		for j := range s.counts {
+			s.counts[j] = 0
+		}
+		s.sum = 0
+		s.count = 0
+		s.mu.Unlock()
+	}
+}
+
+// family groups all series of one metric name. name, typ, and buckets
+// are immutable after creation.
+type family struct {
+	name    string
+	typ     MetricType
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex // guards series creation
+	series sync.Map   // canonical label key -> *series
+}
+
+type series struct {
+	labels []string // alternating key, value, in call-site order
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds metric families. Lookup is two map reads (family, then
+// series); creation is rare and serialized per family. All methods are
+// safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	helps    sync.Map // name -> help string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Describe attaches help text to a metric name for exposition. Safe to
+// call before or after the first series exists.
+func (r *Registry) Describe(name, help string) {
+	r.helps.Store(name, help)
+}
+
+func (r *Registry) familyFor(name string, typ MetricType, buckets []float64) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if ok {
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok = r.families[name]; ok {
+		return f
+	}
+	f = &family{name: name, typ: typ, buckets: buckets}
+	r.families[name] = f
+	return f
+}
+
+// labelKey canonicalizes alternating key/value labels. Call sites must
+// pass labels in a consistent order for a given metric name.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return strings.Join(labels, "\xff")
+}
+
+func (f *family) seriesFor(labels []string) *series {
+	key := labelKey(labels)
+	if s, ok := f.series.Load(key); ok {
+		return s.(*series)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series.Load(key); ok {
+		return s.(*series)
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s: odd label list %q", f.name, labels))
+	}
+	s := &series{labels: append([]string(nil), labels...)}
+	switch f.typ {
+	case TypeCounter:
+		s.c = &Counter{}
+	case TypeGauge:
+		s.g = &Gauge{}
+	case TypeHistogram:
+		s.h = newHistogram(f.buckets)
+	}
+	f.series.Store(key, s)
+	return s
+}
+
+// Counter returns (creating on first use) the counter for name with the
+// given alternating key/value labels. A metric name must be used with
+// one type only; the first use wins.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.familyFor(name, TypeCounter, nil).seriesFor(labels).c
+}
+
+// Gauge returns (creating on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.familyFor(name, TypeGauge, nil).seriesFor(labels).g
+}
+
+// Histogram returns (creating on first use) the histogram for
+// name+labels with the given fixed bucket layout. The layout of the
+// first creation wins for the whole family.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	return r.familyFor(name, TypeHistogram, buckets).seriesFor(labels).h
+}
+
+// Reset zeroes every metric value, keeping families, series, and help
+// text registered. Tests use it to isolate measurements.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		f.series.Range(func(_, v any) bool {
+			s := v.(*series)
+			if s.c != nil {
+				s.c.v.Store(0)
+			}
+			if s.g != nil {
+				s.g.v.Store(0)
+			}
+			if s.h != nil {
+				s.h.reset()
+			}
+			return true
+		})
+	}
+}
+
+// SeriesPoint is one exported series of a family.
+type SeriesPoint struct {
+	Labels []string // alternating key, value
+	Value  float64  // counters and gauges
+	Hist   *HistogramSnapshot
+}
+
+// FamilySnapshot is the exported view of one metric family.
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Type   MetricType
+	Series []SeriesPoint
+}
+
+// Snapshot exports all families sorted by name, each with its series
+// sorted by label key — a deterministic order both exporters rely on.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	out := make([]FamilySnapshot, 0, len(names))
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		fs := FamilySnapshot{Name: f.name, Type: f.typ}
+		if help, ok := r.helps.Load(name); ok {
+			fs.Help = help.(string)
+		}
+		type keyed struct {
+			key string
+			pt  SeriesPoint
+		}
+		var pts []keyed
+		f.series.Range(func(k, v any) bool {
+			s := v.(*series)
+			pt := SeriesPoint{Labels: s.labels}
+			switch {
+			case s.c != nil:
+				pt.Value = float64(s.c.Value())
+			case s.g != nil:
+				pt.Value = float64(s.g.Value())
+			case s.h != nil:
+				snap := s.h.Snapshot()
+				pt.Hist = &snap
+			}
+			pts = append(pts, keyed{key: k.(string), pt: pt})
+			return true
+		})
+		sort.Slice(pts, func(i, j int) bool { return pts[i].key < pts[j].key })
+		for _, p := range pts {
+			fs.Series = append(fs.Series, p.pt)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

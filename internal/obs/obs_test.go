@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerHandsOutNilSpans(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(false)
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatalf("disabled tracer returned non-nil span")
+	}
+	// Every method must be nil-safe.
+	s.Attr(String("k", "v")).SetVirtualClock(time.Now).End()
+	if c := s.Child("child"); c != nil {
+		t.Fatalf("nil span produced non-nil child")
+	}
+	if d := s.VirtDuration(); d != 0 {
+		t.Fatalf("nil span virt duration = %v", d)
+	}
+	if total, _ := tr.Stats(); total != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", total)
+	}
+}
+
+func TestSpanHierarchyAndClocks(t *testing.T) {
+	tr := NewTracer(16)
+	virtNow := time.Date(2015, 4, 21, 9, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return virtNow }
+
+	root := tr.Start("migrate", String("pkg", "com.example")).SetVirtualClock(clock)
+	child := root.Child("stage", Int64("bytes", 42))
+	virtNow = virtNow.Add(3 * time.Second)
+	child.End()
+	virtNow = virtNow.Add(1 * time.Second)
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(spans))
+	}
+	// Snapshot is ordered by virtual start: root first (same instant, lower id).
+	r, c := spans[0], spans[1]
+	if r.Name != "migrate" || c.Name != "stage" {
+		t.Fatalf("order = %s, %s", r.Name, c.Name)
+	}
+	if c.Parent != r.ID || c.Root != r.ID || r.Parent != 0 {
+		t.Fatalf("hierarchy wrong: root=%+v child=%+v", r, c)
+	}
+	if got := c.Virt(); got != 3*time.Second {
+		t.Errorf("child virtual duration = %v, want 3s (inherited clock)", got)
+	}
+	if got := r.Virt(); got != 4*time.Second {
+		t.Errorf("root virtual duration = %v, want 4s", got)
+	}
+	if c.Wall() > time.Second {
+		t.Errorf("child wall duration = %v, absurd for this test", c.Wall())
+	}
+	if len(r.Attrs) != 1 || r.Attrs[0].Key != "pkg" {
+		t.Errorf("root attrs = %+v", r.Attrs)
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(8)
+	s := tr.Start("once")
+	s.End()
+	s.End()
+	if total, _ := tr.Stats(); total != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", total)
+	}
+}
+
+func TestRingBoundsMemory(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Start("s").End()
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	total, dropped := tr.Stats()
+	if total != 10 || dropped != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", total, dropped)
+	}
+	// The survivors are the newest four.
+	for _, s := range spans {
+		if s.ID <= 6 {
+			t.Errorf("ring retained old span id %d", s.ID)
+		}
+	}
+}
+
+func TestChildOfNilStartsRoot(t *testing.T) {
+	SetEnabled(true)
+	defer func() {
+		SetEnabled(false)
+		Reset()
+	}()
+	s := ChildOf(nil, "orphan")
+	if s == nil {
+		t.Fatalf("ChildOf(nil) = nil with telemetry enabled")
+	}
+	s.End()
+	spans := T().Snapshot()
+	if len(spans) != 1 || spans[0].Parent != 0 {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("flux_test_total", "service", "alarm")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Same name+labels returns the same counter.
+	if r.Counter("flux_test_total", "service", "alarm") != c {
+		t.Fatalf("counter lookup not memoized")
+	}
+	g := r.Gauge("flux_test_gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	h := r.Histogram("flux_test_seconds", DurationBuckets)
+	h.Observe(0.003)
+	h.Observe(0.004)
+	h.Observe(120) // above the top bound: counted, not bucketed
+	snap := h.Snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("hist count = %d", snap.Count)
+	}
+	if snap.Sum < 120 || snap.Sum > 121 {
+		t.Fatalf("hist sum = %v", snap.Sum)
+	}
+	var bucketed uint64
+	for _, n := range snap.Counts {
+		bucketed += n
+	}
+	if bucketed != 2 {
+		t.Fatalf("bucketed = %d, want 2 (120s overflows the layout)", bucketed)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("flux_conc_seconds", DurationBuckets)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if snap := h.Snapshot(); snap.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", snap.Count, goroutines*per)
+	}
+}
+
+func TestRegistryResetZeroesButKeepsSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flux_reset_total", "k", "v").Add(9)
+	r.Histogram("flux_reset_seconds", DurationBuckets).Observe(1)
+	r.Describe("flux_reset_total", "a help line")
+	r.Reset()
+	if got := r.Counter("flux_reset_total", "k", "v").Value(); got != 0 {
+		t.Fatalf("counter after reset = %d", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("families after reset = %d, want 2", len(snap))
+	}
+	for _, fam := range snap {
+		if fam.Name == "flux_reset_total" && fam.Help != "a help line" {
+			t.Fatalf("help lost on reset: %q", fam.Help)
+		}
+	}
+}
+
+func TestSortTreeAndDepth(t *testing.T) {
+	tr := NewTracer(16)
+	virtNow := time.Unix(0, 0)
+	clock := func() time.Time { return virtNow }
+	root := tr.Start("root").SetVirtualClock(clock)
+	a := root.Child("a")
+	virtNow = virtNow.Add(time.Second)
+	aa := a.Child("aa")
+	virtNow = virtNow.Add(time.Second)
+	aa.End()
+	a.End()
+	b := root.Child("b")
+	virtNow = virtNow.Add(time.Second)
+	b.End()
+	root.End()
+
+	ordered := SortTree(tr.Snapshot())
+	var names []string
+	for _, s := range ordered {
+		names = append(names, s.Name)
+	}
+	want := "root a aa b"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("tree order = %q, want %q", got, want)
+	}
+	depth := Depth(ordered)
+	for _, s := range ordered {
+		wantDepth := map[string]int{"root": 0, "a": 1, "aa": 2, "b": 1}[s.Name]
+		if depth[s.ID] != wantDepth {
+			t.Errorf("depth[%s] = %d, want %d", s.Name, depth[s.ID], wantDepth)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"flux/internal/aidl"
 	"flux/internal/binder"
+	"flux/internal/obs"
 )
 
 // Entry is one recorded service call.
@@ -213,6 +214,7 @@ type Recorder struct {
 
 	observed atomic.Uint64 // all decorated-interface calls seen
 	recorded atomic.Uint64 // calls actually appended
+	dropped  atomic.Uint64 // triggering calls suppressed by @drop("this") annihilation
 }
 
 // Config carries the Recorder's environment hooks.
@@ -289,10 +291,33 @@ func (r *Recorder) Resume(app string) {
 	delete(r.paused, app)
 }
 
-// Stats reports how many decorated-interface calls were observed and how
-// many were recorded (after selective suppression).
-func (r *Recorder) Stats() (observed, recorded uint64) {
-	return r.observed.Load(), r.recorded.Load()
+// Stats summarizes the recorder's lifetime counters.
+type Stats struct {
+	// Observed counts every call seen on a decorated interface
+	// (including undecorated methods of those interfaces).
+	Observed uint64
+	// Recorded counts calls actually appended to the log.
+	Recorded uint64
+	// DroppedByRule counts triggering calls suppressed before ever
+	// reaching the log: a @drop list containing "this" matched a
+	// previous call of another method, annihilating the pair
+	// (enqueueNotification + cancelNotification).
+	DroppedByRule uint64
+	// Pruned counts previously recorded entries that @drop evaluation
+	// later removed from the log (the log-bounding savings of Selective
+	// Record). Wholesale DropApp cleanup is excluded.
+	Pruned uint64
+}
+
+// Stats reports the recorder's observed/recorded/dropped/pruned
+// counters (after selective suppression).
+func (r *Recorder) Stats() Stats {
+	return Stats{
+		Observed:      r.observed.Load(),
+		Recorded:      r.recorded.Load(),
+		DroppedByRule: r.dropped.Load(),
+		Pruned:        r.log.DroppedTotal(),
+	}
 }
 
 // ObserveTransaction implements binder.Interposer. It takes only read
@@ -318,6 +343,10 @@ func (r *Recorder) ObserveTransaction(callingPID int, node *binder.Node, call *b
 		return
 	}
 	r.observed.Add(1)
+	telemetry := obs.Enabled()
+	if telemetry {
+		obs.M().Counter(MetricObserved, "service", reg.service).Inc()
+	}
 
 	m := reg.itf.MethodByCode(call.Code)
 	if m == nil {
@@ -332,9 +361,14 @@ func (r *Recorder) ObserveTransaction(callingPID int, node *binder.Node, call *b
 		return
 	}
 	suppress := r.applyDrops(app, reg, m, rule, call)
-	if !suppress {
-		r.append(app, reg, m, call)
+	if suppress {
+		r.dropped.Add(1)
+		if telemetry {
+			obs.M().Counter(MetricSuppressed, "service", reg.service).Inc()
+		}
+		return
 	}
+	r.append(app, reg, m, call)
 }
 
 // applyDrops evaluates the rule's drop clauses against the log and reports
@@ -371,7 +405,7 @@ func (r *Recorder) applyDrops(app string, reg *registeredInterface, m *aidl.Meth
 		sigVals[i] = vals
 	}
 	droppedOther := false
-	r.log.PruneMatching(app, reg.itf.Name, targets, func(e *Entry) bool {
+	removed := r.log.PruneMatching(app, reg.itf.Name, targets, func(e *Entry) bool {
 		em := reg.itf.Method(e.Method)
 		if em == nil {
 			return false
@@ -400,6 +434,9 @@ func (r *Recorder) applyDrops(app string, reg *registeredInterface, m *aidl.Meth
 		}
 		return false
 	})
+	if removed > 0 && obs.Enabled() {
+		obs.M().Counter(MetricPruned, "service", reg.service).Add(uint64(removed))
+	}
 	return rule.DropsSelf() && droppedOther
 }
 
@@ -420,4 +457,7 @@ func (r *Recorder) append(app string, reg *registeredInterface, m *aidl.Method, 
 	}
 	r.log.Append(e)
 	r.recorded.Add(1)
+	if obs.Enabled() {
+		obs.M().Counter(MetricRecorded, "service", reg.service).Inc()
+	}
 }

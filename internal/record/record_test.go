@@ -261,14 +261,21 @@ func TestStatsCountObservedAndRecorded(t *testing.T) {
 	f := newFixture(t)
 	f.call(t, f.notif, "enqueueNotification", 1, aidl.Object("x"))
 	f.call(t, f.notif, "cancelNotification", 1)
-	observed, recorded := f.rec.Stats()
-	if observed != 2 {
-		t.Errorf("observed = %d, want 2", observed)
+	st := f.rec.Stats()
+	if st.Observed != 2 {
+		t.Errorf("observed = %d, want 2", st.Observed)
 	}
-	if recorded != 1 {
+	if st.Recorded != 1 {
 		// the enqueue was appended; the cancel annihilated it and was
 		// suppressed before ever reaching the log
-		t.Errorf("recorded = %d, want 1", recorded)
+		t.Errorf("recorded = %d, want 1", st.Recorded)
+	}
+	if st.DroppedByRule != 1 {
+		// the cancel itself never reached the log
+		t.Errorf("dropped-by-rule = %d, want 1 (the suppressed cancel)", st.DroppedByRule)
+	}
+	if st.Pruned != 1 {
+		t.Errorf("pruned = %d, want 1 (the annihilated enqueue)", st.Pruned)
 	}
 	if got := f.rec.Log().DroppedTotal(); got != 1 {
 		t.Errorf("dropped = %d, want 1 (the annihilated enqueue)", got)

@@ -1,0 +1,28 @@
+package record
+
+import "flux/internal/obs"
+
+// Per-service Selective Record metrics. The recorder sits on every
+// decorated Binder transaction, so all metric bumps are gated on
+// obs.Enabled() — the disabled path adds one atomic bool load to the
+// hot path (the <5% budget is verified in bench_test.go).
+const (
+	// MetricObserved counts decorated-interface calls seen, by service.
+	MetricObserved = "flux_record_observed_total"
+	// MetricRecorded counts calls appended to the log, by service.
+	MetricRecorded = "flux_record_recorded_total"
+	// MetricSuppressed counts triggering calls annihilated by a
+	// @drop("this") match before reaching the log, by service.
+	MetricSuppressed = "flux_record_suppressed_total"
+	// MetricPruned counts previously recorded entries removed by @drop
+	// evaluation, by the service whose rule triggered the prune.
+	MetricPruned = "flux_record_pruned_total"
+)
+
+func init() {
+	m := obs.M()
+	m.Describe(MetricObserved, "Selective Record: decorated-interface calls observed, by service.")
+	m.Describe(MetricRecorded, "Selective Record: calls appended to the record log, by service.")
+	m.Describe(MetricSuppressed, "Selective Record: triggering calls suppressed by @drop(this) annihilation, by service.")
+	m.Describe(MetricPruned, "Selective Record: recorded entries pruned by @drop evaluation, by service.")
+}

@@ -27,9 +27,26 @@ import (
 	"flux/internal/aidl"
 	"flux/internal/binder"
 	"flux/internal/kernel"
+	"flux/internal/obs"
 	"flux/internal/record"
 	"flux/internal/services"
 )
+
+// Replay telemetry: entries consumed by outcome, plus a child span per
+// replay-proxy invocation under the reintegration stage span.
+const (
+	// MetricEntries counts replayed log entries by outcome (replayed,
+	// proxied, skipped_expired, skipped_missing_hw, forwarded).
+	MetricEntries = "flux_replay_entries_total"
+	// MetricProxyCalls counts replay-proxy invocations by proxy path.
+	MetricProxyCalls = "flux_replay_proxy_calls_total"
+)
+
+func init() {
+	m := obs.M()
+	m.Describe(MetricEntries, "Record-log entries consumed by replay, by outcome.")
+	m.Describe(MetricProxyCalls, "Replay proxy invocations, by proxy path.")
+}
 
 // Context carries everything a replay run needs about both sides.
 type Context struct {
@@ -59,6 +76,9 @@ type Context struct {
 	// NetworkFallback allows device access to continue over the network
 	// when the guest lacks the hardware (paper §3.2, Adaptive Replay).
 	NetworkFallback bool
+	// Span optionally parents the replay's telemetry spans (the migration
+	// pipeline passes its reintegration stage span). Nil-safe.
+	Span *obs.Span
 }
 
 // Stats summarizes one replay run.
@@ -144,6 +164,34 @@ func (e *Engine) RegisterProxy(path string, p Proxy) { e.proxies[path] = p }
 // Replay re-applies a record log to the guest device in sequence order.
 func (e *Engine) Replay(ctx *Context, entries []*record.Entry) (Stats, error) {
 	var stats Stats
+	telemetry := obs.Enabled()
+	sp := ctx.Span.Child("replay.run", obs.Int64("entries", int64(len(entries))))
+	defer func() {
+		sp.Attr(
+			obs.Int64("replayed", int64(stats.Replayed)),
+			obs.Int64("proxied", int64(stats.Proxied)),
+			obs.Int64("skipped_expired", int64(stats.SkippedExpired)),
+			obs.Int64("skipped_missing_hw", int64(stats.SkippedMissingHW)),
+			obs.Int64("forwarded", int64(stats.Forwarded)),
+		).End()
+		if telemetry {
+			m := obs.M()
+			for _, o := range []struct {
+				outcome string
+				n       int
+			}{
+				{"replayed", stats.Replayed},
+				{"proxied", stats.Proxied},
+				{"skipped_expired", stats.SkippedExpired},
+				{"skipped_missing_hw", stats.SkippedMissingHW},
+				{"forwarded", stats.Forwarded},
+			} {
+				if o.n > 0 {
+					m.Counter(MetricEntries, "outcome", o.outcome).Add(uint64(o.n))
+				}
+			}
+		}
+	}()
 	for _, entry := range entries {
 		itf, ok := e.interfaces[entry.Interface]
 		if !ok {
@@ -167,10 +215,20 @@ func (e *Engine) Replay(ctx *Context, entries []*record.Entry) (Stats, error) {
 			if !ok {
 				return stats, fmt.Errorf("replay: no proxy registered for %s", rule.ReplayProxy)
 			}
+			psp := sp.Child("replay.proxy",
+				obs.String("proxy", rule.ReplayProxy),
+				obs.String("method", entry.Method),
+				obs.Int64("seq", int64(entry.Seq)),
+			)
 			skipped, err := proxy(ctx, entry, m)
+			if telemetry {
+				obs.M().Counter(MetricProxyCalls, "proxy", rule.ReplayProxy).Inc()
+			}
 			if err != nil {
+				psp.Attr(obs.String("error", err.Error())).End()
 				return stats, fmt.Errorf("replay: proxy %s on entry %d: %w", rule.ReplayProxy, entry.Seq, err)
 			}
+			psp.Attr(obs.Bool("skipped", skipped)).End()
 			if skipped {
 				stats.SkippedExpired++
 			} else {

@@ -85,6 +85,7 @@ type System struct {
 	mu      sync.Mutex
 	staters map[string]AppStater
 	catalog []Registration
+	itfs    map[string]*aidl.Interface // by descriptor, for telemetry method names
 	pkgOfFn func(pid int) (string, bool)
 }
 
@@ -121,8 +122,11 @@ func Boot(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, proc: proc, staters: make(map[string]AppStater)}
+	s := &System{cfg: cfg, proc: proc, staters: make(map[string]AppStater), itfs: make(map[string]*aidl.Interface)}
 	s.pkgOfFn = cfg.PackageOf
+	// Give the Binder driver's telemetry tap human-readable method names
+	// instead of raw transaction codes.
+	cfg.Kernel.Binder().SetMethodNamer(s.methodName)
 
 	s.Notifications = newNotificationManagerService(s)
 	s.Alarms = newAlarmManagerService(s)
@@ -209,6 +213,7 @@ func (s *System) register(name string, itf *aidl.Interface, src string, hardware
 	if stater != nil {
 		s.staters[name] = stater
 	}
+	s.itfs[itf.Name] = itf
 	s.catalog = append(s.catalog, Registration{
 		Name:            name,
 		Descriptor:      itf.Name,
@@ -218,6 +223,22 @@ func (s *System) register(name string, itf *aidl.Interface, src string, hardware
 		MeasuredMethods: len(itf.Methods),
 		MeasuredLOC:     aidl.DecorationLOC(src),
 	})
+}
+
+// methodName resolves a (descriptor, transaction code) pair to a method
+// name via the booted services' AIDL catalog — the binder.MethodNamer
+// backing telemetry labels.
+func (s *System) methodName(descriptor string, code uint32) (string, bool) {
+	s.mu.Lock()
+	itf := s.itfs[descriptor]
+	s.mu.Unlock()
+	if itf == nil {
+		return "", false
+	}
+	if m := itf.MethodByCode(code); m != nil {
+		return m.Name, true
+	}
+	return "", false
 }
 
 // Catalog returns the Table 2 registrations sorted by name.

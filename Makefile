@@ -4,13 +4,15 @@
 #                    findings fail the build)
 #   make race        -race pass over the concurrency-sensitive packages
 #   make bench       hot-path microbenchmarks + matrix scaling benchmarks
+#   make bench-pipeline  parallel-marshal / chunking / streamed-link /
+#                    rsyncx benchmarks plus the streamed-vs-sequential matrix
 #   make results     regenerate every figure and write BENCH_results.json
 #   make trace-demo  run one telemetry-enabled migration and write a
 #                    sample Chrome trace (trace-demo.json) + stage report
 
 GO ?= go
 
-.PHONY: all verify vet build test race bench results trace-demo clean
+.PHONY: all verify vet build test race bench bench-pipeline results trace-demo clean
 
 all: verify
 
@@ -27,15 +29,26 @@ test:
 
 # The packages with lock-free/sharded hot paths and the parallel matrix
 # driver. Keep this green: the sharded record log, the worker-pool
-# evaluation driver, the telemetry ring/registry, and the span-instrumented
-# migration pipeline are only correct if they are race-clean.
+# evaluation driver, the telemetry ring/registry, the span-instrumented
+# migration pipeline, the parallel image marshaller, and the memoized
+# sync trees are only correct if they are race-clean.
 race:
-	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/
+	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/record/
 	$(GO) test -bench=. -benchmem ./internal/obs/
 	$(GO) test -bench='BenchmarkMatrixWorkers' -benchmem .
+
+# The streaming-pipeline hot paths: parallel FXC1 marshal (run with
+# -cpu 1,4 on multi-core hosts to see the worker-pool scaling), memoized
+# WireBytes, chunk partitioning, streamed link scheduling, and the
+# rsyncx plan builder — then the streamed-vs-sequential matrix itself.
+bench-pipeline:
+	$(GO) test -bench='BenchmarkImage' -benchmem ./internal/cria/
+	$(GO) test -bench=. -benchmem ./internal/netsim/
+	$(GO) test -bench='BenchmarkBuildPlan' -benchmem ./internal/rsyncx/
+	$(GO) run ./cmd/fluxbench -pipeline -json ""
 
 results:
 	$(GO) run ./cmd/fluxbench -all -json BENCH_results.json

@@ -16,6 +16,7 @@
 //	fluxbench -failures            # Facebook / Subway Surfers refusals
 //	fluxbench -summary             # headline numbers vs paper
 //	fluxbench -ablations           # design ablations
+//	fluxbench -pipeline            # streaming pipeline vs sequential matrix
 //
 // The 64-migration evaluation matrix runs on a bounded worker pool
 // (-workers, default: one per CPU); its output is byte-identical for any
@@ -47,6 +48,7 @@ func main() {
 		failures   = flag.Bool("failures", false, "expected failures")
 		summary    = flag.Bool("summary", false, "headline summary vs paper")
 		ablations  = flag.Bool("ablations", false, "design ablations")
+		pipeline   = flag.Bool("pipeline", false, "run the 64-migration matrix sequential and pipelined, report savings")
 		all        = flag.Bool("all", false, "everything, in paper order")
 		benchIters = flag.Int("bench-iters", 2000, "iterations per Figure 16 benchmark")
 		playN      = flag.Int("play-n", 488259, "Figure 17 catalog size")
@@ -58,7 +60,7 @@ func main() {
 	if *tracePath != "" {
 		obs.SetEnabled(true)
 	}
-	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *all, *benchIters, *playN, *workers, *jsonPath); err != nil {
+	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *pipeline, *all, *benchIters, *playN, *workers, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxbench:", err)
 		os.Exit(1)
 	}
@@ -73,7 +75,7 @@ func main() {
 	}
 }
 
-func run(table, fig int, pairing, failures, summary, ablations, all bool, benchIters, playN, workers int, jsonPath string) error {
+func run(table, fig int, pairing, failures, summary, ablations, pipeline, all bool, benchIters, playN, workers int, jsonPath string) error {
 	w := os.Stdout
 	if workers < 1 {
 		workers = experiments.DefaultMatrixWorkers()
@@ -207,6 +209,24 @@ func run(table, fig int, pairing, failures, summary, ablations, all bool, benchI
 			if err := timed(s.name, s.fn); err != nil {
 				return err
 			}
+		}
+		if err := timed("ablation_pipeline", func() (map[string]float64, error) {
+			return nil, experiments.AblationPipeline(w, *candy)
+		}); err != nil {
+			return err
+		}
+	}
+	if pipeline {
+		if err := timed("pipeline", func() (map[string]float64, error) {
+			start := time.Now()
+			m, err := experiments.ComparePipeline(w, workers)
+			if err == nil {
+				fmt.Fprintf(w, "(pipeline: two matrices on %d workers in %.2fs wall-clock)\n",
+					workers, time.Since(start).Seconds())
+			}
+			return m, err
+		}); err != nil {
+			return err
 		}
 	}
 	if !ran {

@@ -10,12 +10,19 @@
 //
 //	fluxstat -app com.king.candycrushsaga -from nexus4 -to nexus7-2013
 //	fluxstat -app com.whatsapp -trace whatsapp.json
+//	fluxstat -app com.whatsapp -pipeline
+//
+// -pipeline runs the migration as a streamed pipeline
+// (migration.Options.Pipelined) and renders the per-chunk
+// checkpoint/compress/transfer/restore lanes as a text gantt, built from
+// the "pipeline.chunk" instant spans the migration emits.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -31,10 +38,11 @@ func main() {
 		from      = flag.String("from", "nexus4", "home device model")
 		to        = flag.String("to", "nexus7-2013", "guest device model")
 		tracePath = flag.String("trace", "", "also write the span tree as Chrome trace-event JSON")
+		pipelined = flag.Bool("pipeline", false, "stream the migration and render per-chunk pipeline lanes")
 	)
 	flag.Parse()
 	obs.SetEnabled(true)
-	if err := run(*appPkg, *from, *to, *tracePath); err != nil {
+	if err := run(*appPkg, *from, *to, *tracePath, *pipelined); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxstat:", err)
 		os.Exit(1)
 	}
@@ -52,7 +60,7 @@ func profileByName(name, instance string) (device.Profile, error) {
 	return device.Profile{}, fmt.Errorf("unknown device %q (nexus4, nexus7-2012, nexus7-2013)", name)
 }
 
-func run(appPkg, from, to, tracePath string) error {
+func run(appPkg, from, to, tracePath string, pipelined bool) error {
 	homeProfile, err := profileByName(from, "home-"+from)
 	if err != nil {
 		return err
@@ -82,7 +90,7 @@ func run(appPkg, from, to, tracePath string) error {
 	if _, err := flux.LaunchApp(home, *app); err != nil {
 		return err
 	}
-	rep, err := flux.Migrate(home, guest, appPkg, flux.MigrateOptions{})
+	rep, err := flux.Migrate(home, guest, appPkg, flux.MigrateOptions{Pipelined: pipelined})
 	if err != nil {
 		return err
 	}
@@ -91,6 +99,11 @@ func run(appPkg, from, to, tracePath string) error {
 	fmt.Printf("%s: %s → %s\n\n", app.Spec.Label, home.Name(), guest.Name())
 	printFlame(spans)
 	fmt.Println()
+	if pipelined {
+		printChunkLanes(spans)
+		fmt.Printf("pipeline: %d chunks, saved %v vs sequential\n\n",
+			rep.PipelineChunks, rep.PipelineSavings.Round(time.Millisecond))
+	}
 	if err := printStageCheck(spans, rep); err != nil {
 		return err
 	}
@@ -122,6 +135,11 @@ func printFlame(spans []obs.SpanData) {
 	const barWidth = 32
 	fmt.Printf("%-44s %12s  %s\n", "SPAN", "VIRTUAL", "SHARE")
 	for _, s := range spans {
+		if s.Name == migration.SpanPipelineChunk {
+			// Dozens of instant chunk spans per pipelined run; they get
+			// their own gantt rendering instead of flamegraph rows.
+			continue
+		}
 		ind := strings.Repeat("  ", depth[s.ID])
 		frac := float64(s.Virt()) / float64(total)
 		if frac < 0 {
@@ -137,6 +155,139 @@ func printFlame(spans []obs.SpanData) {
 		}
 		fmt.Printf("%-44s %12s  %-*s %5.1f%%\n",
 			ind+s.Name, fmtDur(s.Virt()), barWidth, bar, frac*100)
+	}
+}
+
+// chunkLaneRow is one "pipeline.chunk" span decoded back into its
+// schedule offsets (microseconds from checkpoint-stage start).
+type chunkLaneRow struct {
+	idx          int64
+	kind         string
+	raw, wire    int64
+	ckptS, ckptE int64
+	compS, compE int64
+	xferS, xferE int64
+	rstrS, rstrE int64
+	workingSet   bool
+}
+
+func attrInt(s obs.SpanData, key string) int64 {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			if v, ok := a.Value.(int64); ok {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+func attrString(s obs.SpanData, key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			if v, ok := a.Value.(string); ok {
+				return v
+			}
+		}
+	}
+	return ""
+}
+
+func attrBool(s obs.SpanData, key string) bool {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			if v, ok := a.Value.(bool); ok {
+				return v
+			}
+		}
+	}
+	return false
+}
+
+// printChunkLanes renders the streamed migration's per-chunk schedule as a
+// text gantt: one row per wire chunk, with the checkpoint (c), compress
+// (z), transfer (x), and restore (r) intervals drawn on a shared timeline
+// that starts at the checkpoint stage and ends when the last chunk is
+// restored. The '|' column marks the working-set boundary where adaptive
+// replay may begin.
+func printChunkLanes(spans []obs.SpanData) {
+	var rows []chunkLaneRow
+	for _, s := range spans {
+		if s.Name != migration.SpanPipelineChunk {
+			continue
+		}
+		rows = append(rows, chunkLaneRow{
+			idx:        attrInt(s, "chunk"),
+			kind:       attrString(s, "kind"),
+			raw:        attrInt(s, "raw_bytes"),
+			wire:       attrInt(s, "wire_bytes"),
+			ckptS:      attrInt(s, "ckpt_start_us"),
+			ckptE:      attrInt(s, "ckpt_end_us"),
+			compS:      attrInt(s, "comp_start_us"),
+			compE:      attrInt(s, "comp_end_us"),
+			xferS:      attrInt(s, "xfer_start_us"),
+			xferE:      attrInt(s, "xfer_end_us"),
+			rstrS:      attrInt(s, "rstr_start_us"),
+			rstrE:      attrInt(s, "rstr_end_us"),
+			workingSet: attrBool(s, "working_set"),
+		})
+	}
+	if len(rows) == 0 {
+		fmt.Println("no pipeline.chunk spans recorded")
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].idx < rows[j].idx })
+	var end int64
+	for _, r := range rows {
+		if r.rstrE > end {
+			end = r.rstrE
+		}
+	}
+	if end <= 0 {
+		end = 1
+	}
+	const width = 72
+	scale := func(us int64) int {
+		p := int(us * int64(width) / end)
+		if p >= width {
+			p = width - 1
+		}
+		if p < 0 {
+			p = 0
+		}
+		return p
+	}
+	paint := func(row []byte, from, to int64, ch byte) {
+		a, b := scale(from), scale(to)
+		if to > from && b == a {
+			b = a + 1 // sub-cell intervals still get one mark
+		}
+		for i := a; i < b && i < width; i++ {
+			row[i] = ch
+		}
+	}
+	fmt.Printf("pipeline lanes (c=checkpoint z=compress x=transfer r=restore, %v total):\n", time.Duration(end)*time.Microsecond)
+	fmt.Printf("%5s %-10s %9s  %s\n", "CHUNK", "KIND", "WIRE", "TIMELINE")
+	lastWS := -1
+	for i, r := range rows {
+		if r.workingSet {
+			lastWS = i
+		}
+	}
+	for i, r := range rows {
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = '.'
+		}
+		paint(row, r.ckptS, r.ckptE, 'c')
+		paint(row, r.compS, r.compE, 'z')
+		paint(row, r.xferS, r.xferE, 'x')
+		paint(row, r.rstrS, r.rstrE, 'r')
+		ws := " "
+		if i == lastWS {
+			ws = "|"
+		}
+		fmt.Printf("%5d %-10s %9d %s%s\n", r.idx, r.kind, r.wire, ws, string(row))
 	}
 }
 

@@ -1,0 +1,129 @@
+package cria
+
+// Wire chunking: the streaming migration pipeline (paper §4: the
+// user-perceived window is Transfer+Restore+Reintegration, and transfer
+// dominates) ships the image as an ordered stream of chunks so the home
+// device can checkpoint and compress chunk i+1 while chunk i is on the
+// wire and the guest restores chunk i-1. Chunks carry exact raw and
+// compressed sizes; summed, they reproduce the sequential path's
+// PayloadBytes / WireBytes byte-for-byte, which is what keeps the
+// pipelined and sequential migration reports size-identical.
+
+import "fmt"
+
+// ChunkKind labels what a wire chunk carries.
+type ChunkKind uint8
+
+const (
+	// ChunkMetadata carries a slice of the compressed image metadata
+	// (the Marshal output): spec, descriptor table, handle table,
+	// runtime snapshot. It streams first so the guest can stand up the
+	// wrapper process while memory is still in flight.
+	ChunkMetadata ChunkKind = iota
+	// ChunkRecordLog carries a slice of the pruned Selective Record log;
+	// it streams before memory so adaptive replay can start early.
+	ChunkRecordLog
+	// ChunkSegment carries a slice of one checkpointed memory segment.
+	ChunkSegment
+	// ChunkDelta carries non-image wire data (APK + data-directory
+	// deltas). cria never emits it; the migration pipeline prepends one
+	// for the rsync-style delta, which needs no checkpointing.
+	ChunkDelta
+)
+
+func (k ChunkKind) String() string {
+	switch k {
+	case ChunkMetadata:
+		return "metadata"
+	case ChunkRecordLog:
+		return "record-log"
+	case ChunkSegment:
+		return "segment"
+	case ChunkDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("chunkkind(%d)", uint8(k))
+}
+
+// Chunk is one ordered unit of the image wire stream.
+type Chunk struct {
+	// Index is the chunk's position in the stream.
+	Index int
+	// Kind is the payload class.
+	Kind ChunkKind
+	// Segment indexes Image.Segments for ChunkSegment chunks; -1
+	// otherwise.
+	Segment int
+	// Raw is the chunk's uncompressed size. For metadata and record-log
+	// chunks — which are shipped in their serialized form — Raw equals
+	// Wire.
+	Raw int64
+	// Wire is the chunk's on-the-wire (compressed) size.
+	Wire int64
+}
+
+// Chunks partitions the image into ordered wire chunks of at most
+// chunkBytes raw bytes each: metadata first, then the record log, then
+// every memory segment in table order. Exactness invariants (tested):
+//
+//   - sum of Wire over all chunks == WireBytes()
+//   - sum of Wire over ChunkSegment chunks == CompressedPayloadBytes()
+//   - sum of Raw over ChunkSegment chunks == PayloadBytes()
+//
+// Per-segment compressed bytes are apportioned cumulatively
+// (floor(C·cum/S) deltas), so they sum to the segment's CompressedSize
+// exactly regardless of the chunk size — including degenerate 1-byte
+// chunks.
+func (img *Image) Chunks(chunkBytes int64) ([]Chunk, error) {
+	if chunkBytes < 1 {
+		return nil, fmt.Errorf("cria: chunk size must be at least 1 byte, got %d", chunkBytes)
+	}
+	meta, err := img.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	var chunks []Chunk
+	add := func(c Chunk) {
+		c.Index = len(chunks)
+		chunks = append(chunks, c)
+	}
+	// Metadata and record log ship in serialized form: Raw == Wire.
+	for off := int64(0); off < int64(len(meta)); off += chunkBytes {
+		n := int64(len(meta)) - off
+		if n > chunkBytes {
+			n = chunkBytes
+		}
+		add(Chunk{Kind: ChunkMetadata, Segment: -1, Raw: n, Wire: n})
+	}
+	for off := int64(0); off < int64(len(img.RecordLog)); off += chunkBytes {
+		n := int64(len(img.RecordLog)) - off
+		if n > chunkBytes {
+			n = chunkBytes
+		}
+		add(Chunk{Kind: ChunkRecordLog, Segment: -1, Raw: n, Wire: n})
+	}
+	for si, seg := range img.Segments {
+		size := seg.Size
+		if size <= 0 {
+			continue
+		}
+		comp := seg.CompressedSize()
+		var cum, compPrev int64
+		for cum < size {
+			n := size - cum
+			if n > chunkBytes {
+				n = chunkBytes
+			}
+			cum += n
+			// Cumulative apportioning: wire_i = floor(C·cum_i/S) −
+			// floor(C·cum_{i−1}/S); the telescoping sum is exactly C.
+			compCum := int64(float64(comp) * (float64(cum) / float64(size)))
+			if cum == size {
+				compCum = comp // close out exactly despite float rounding
+			}
+			add(Chunk{Kind: ChunkSegment, Segment: si, Raw: n, Wire: compCum - compPrev})
+			compPrev = compCum
+		}
+	}
+	return chunks, nil
+}

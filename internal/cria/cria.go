@@ -11,12 +11,9 @@
 package cria
 
 import (
-	"bytes"
-	"compress/flate"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
+	"sync"
 	"time"
 
 	"flux/internal/android"
@@ -87,6 +84,11 @@ type Image struct {
 	RecordLog []byte
 	// HomeVolumeSteps parameterizes the audio replay proxy.
 	HomeVolumeSteps int32
+
+	// mu guards the memoized serialization (see Marshal/WireBytes in
+	// marshal.go). Unexported fields are invisible to gob.
+	mu         sync.Mutex
+	cachedWire []byte
 }
 
 // ErrNonSystemConnection reports an app holding Binder connections to
@@ -245,55 +247,6 @@ func (img *Image) CompressedPayloadBytes() int64 {
 		n += s.CompressedSize()
 	}
 	return n
-}
-
-// Marshal serializes the image metadata (gob) and compresses it. The
-// returned wire size excludes the memory payload, which the migration
-// pipeline accounts separately via CompressedPayloadBytes.
-func (img *Image) Marshal() ([]byte, error) {
-	var raw bytes.Buffer
-	if err := gob.NewEncoder(&raw).Encode(img); err != nil {
-		return nil, fmt.Errorf("cria: encoding image: %w", err)
-	}
-	var out bytes.Buffer
-	w, err := flate.NewWriter(&out, flate.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := w.Write(raw.Bytes()); err != nil {
-		return nil, err
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-	return out.Bytes(), nil
-}
-
-// Unmarshal decodes an image produced by Marshal.
-func Unmarshal(data []byte) (*Image, error) {
-	r := flate.NewReader(bytes.NewReader(data))
-	raw, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("cria: decompressing image: %w", err)
-	}
-	if err := r.Close(); err != nil {
-		return nil, err
-	}
-	var img Image
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&img); err != nil {
-		return nil, fmt.Errorf("cria: decoding image: %w", err)
-	}
-	return &img, nil
-}
-
-// WireBytes is the image's total transfer size: compressed metadata +
-// compressed memory payload + record log.
-func (img *Image) WireBytes() (int64, error) {
-	meta, err := img.Marshal()
-	if err != nil {
-		return 0, err
-	}
-	return int64(len(meta)) + img.CompressedPayloadBytes() + int64(len(img.RecordLog)), nil
 }
 
 // RestoreOptions configures a restore.

@@ -1,0 +1,408 @@
+package cria
+
+// Image serialization: a chunk-parallel container format.
+//
+// The seed serialized an image as one gob stream behind one DEFLATE
+// stream — strictly sequential, re-run on every WireBytes call. This file
+// replaces it with a parallel, memoized path:
+//
+//   - The image is split into a *core* record (metadata, descriptor and
+//     handle tables, record log) and fixed-size shards of the memory
+//     segment table. The core's gob bytes are cut into fixed-size blocks;
+//     every block and every shard is DEFLATE-compressed independently by a
+//     bounded worker pool (GOMAXPROCS-wide), then reassembled in
+//     deterministic index order, so output bytes are identical at any
+//     parallelism.
+//   - flate writers/readers and scratch buffers are sync.Pool-backed: the
+//     steady-state Marshal path does not re-allocate the ~1 MB flate
+//     window per call (BenchmarkImageMarshal tracks allocs/op).
+//   - Marshal output is memoized on the Image; WireBytes — called on the
+//     migration hot path — reuses it instead of re-running gob+flate.
+//     Mutating an Image after a Marshal requires Invalidate().
+//   - The runtime snapshot's SavedState map is serialized as key-sorted
+//     pairs, making the wire bytes (and therefore CompressedImageBytes)
+//     deterministic across runs — gob's native map encoding is not.
+//
+// Unmarshal transparently falls back to the seed's legacy single-stream
+// format: a legacy stream can never start with the new magic (its first
+// byte would decode as an invalid DEFLATE block type).
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"flux/internal/android"
+	"flux/internal/kernel"
+)
+
+const (
+	// marshalMagic tags the chunk-parallel container format.
+	marshalMagic = "FXC1"
+	// marshalCoreBlockBytes is the raw gob bytes per parallel-compressed
+	// core block. Fixed (not GOMAXPROCS-derived) so the container bytes
+	// are machine-independent.
+	marshalCoreBlockBytes = 256 << 10
+	// marshalShardSegs is the number of memory-segment records per
+	// parallel gob+DEFLATE shard.
+	marshalShardSegs = 256
+)
+
+// imageCore is the wire form of everything except the segment table.
+type imageCore struct {
+	Pkg            string
+	Spec           android.AppSpec
+	HomeDevice     string
+	CheckpointTime time.Time
+	VPID           int
+
+	FDs     []kernel.FD
+	Handles []HandleRecord
+	Ashmem  []kernel.AshmemRegion
+	Runtime runtimeWire
+
+	RecordLog       []byte
+	HomeVolumeSteps int32
+
+	// SegmentShards is the shard count that follows the core blocks.
+	SegmentShards int
+}
+
+// kvPair is one SavedState entry in deterministic (key-sorted) order.
+type kvPair struct{ K, V string }
+
+// runtimeWire is android.RuntimeState with its map flattened to sorted
+// pairs so gob output is byte-deterministic.
+type runtimeWire struct {
+	Activities   []android.ActivitySnapshot
+	SavedState   []kvPair
+	Connectivity []string
+	Receivers    []string
+}
+
+func runtimeToWire(st android.RuntimeState) runtimeWire {
+	w := runtimeWire{
+		Activities:   st.Activities,
+		Connectivity: st.Connectivity,
+		Receivers:    st.Receivers,
+	}
+	if len(st.SavedState) > 0 {
+		w.SavedState = make([]kvPair, 0, len(st.SavedState))
+		for k, v := range st.SavedState {
+			w.SavedState = append(w.SavedState, kvPair{K: k, V: v})
+		}
+		sort.Slice(w.SavedState, func(i, j int) bool { return w.SavedState[i].K < w.SavedState[j].K })
+	}
+	return w
+}
+
+func runtimeFromWire(w runtimeWire) android.RuntimeState {
+	st := android.RuntimeState{
+		Activities:   w.Activities,
+		Connectivity: w.Connectivity,
+		Receivers:    w.Receivers,
+	}
+	if len(w.SavedState) > 0 {
+		st.SavedState = make(map[string]string, len(w.SavedState))
+		for _, kv := range w.SavedState {
+			st.SavedState[kv.K] = kv.V
+		}
+	}
+	return st
+}
+
+// Pools for the flate hot path. A flate.Writer carries ~1 MB of window
+// state; re-allocating it per segment shard is what the seed's profile was
+// dominated by.
+var (
+	flateWriterPool = sync.Pool{New: func() any {
+		w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			panic(err) // BestSpeed is a valid level
+		}
+		return w
+	}}
+	flateReaderPool = sync.Pool{New: func() any {
+		return flate.NewReader(bytes.NewReader(nil))
+	}}
+	bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// deflate compresses raw with a pooled writer, returning a fresh slice.
+func deflate(raw []byte) ([]byte, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	w := flateWriterPool.Get().(*flate.Writer)
+	w.Reset(buf)
+	if _, err := w.Write(raw); err != nil {
+		flateWriterPool.Put(w)
+		bufPool.Put(buf)
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		flateWriterPool.Put(w)
+		bufPool.Put(buf)
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	flateWriterPool.Put(w)
+	bufPool.Put(buf)
+	return out, nil
+}
+
+// inflate decompresses one block with a pooled reader.
+func inflate(comp []byte) ([]byte, error) {
+	r := flateReaderPool.Get().(io.ReadCloser)
+	if err := r.(flate.Resetter).Reset(bytes.NewReader(comp), nil); err != nil {
+		flateReaderPool.Put(r)
+		return nil, err
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		flateReaderPool.Put(r)
+		return nil, err
+	}
+	if err := r.Close(); err != nil {
+		flateReaderPool.Put(r)
+		return nil, err
+	}
+	flateReaderPool.Put(r)
+	return raw, nil
+}
+
+// Marshal serializes the image metadata and compresses it, memoizing the
+// result on the Image (Migrate computes WireBytes and then re-serializes
+// for the guest; both now share one encoding pass). The returned slice is
+// the shared cached buffer: treat it as read-only. Call Invalidate after
+// mutating the image. The returned wire size excludes the memory payload,
+// which the migration pipeline accounts separately via
+// CompressedPayloadBytes.
+func (img *Image) Marshal() ([]byte, error) {
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	if img.cachedWire != nil {
+		return img.cachedWire, nil
+	}
+	data, err := img.marshalLocked()
+	if err != nil {
+		return nil, err
+	}
+	img.cachedWire = data
+	return data, nil
+}
+
+// Invalidate drops the memoized Marshal/WireBytes result. Call it after
+// mutating any field of an already-serialized image.
+func (img *Image) Invalidate() {
+	img.mu.Lock()
+	img.cachedWire = nil
+	img.mu.Unlock()
+}
+
+func (img *Image) marshalLocked() ([]byte, error) {
+	// Shard the segment table into fixed-size runs.
+	var shards [][]kernel.MemSegment
+	for off := 0; off < len(img.Segments); off += marshalShardSegs {
+		end := off + marshalShardSegs
+		if end > len(img.Segments) {
+			end = len(img.Segments)
+		}
+		shards = append(shards, img.Segments[off:end])
+	}
+	core := imageCore{
+		Pkg:             img.Pkg,
+		Spec:            img.Spec,
+		HomeDevice:      img.HomeDevice,
+		CheckpointTime:  img.CheckpointTime,
+		VPID:            img.VPID,
+		FDs:             img.FDs,
+		Handles:         img.Handles,
+		Ashmem:          img.Ashmem,
+		Runtime:         runtimeToWire(img.Runtime),
+		RecordLog:       img.RecordLog,
+		HomeVolumeSteps: img.HomeVolumeSteps,
+		SegmentShards:   len(shards),
+	}
+	coreBuf := bufPool.Get().(*bytes.Buffer)
+	coreBuf.Reset()
+	if err := gob.NewEncoder(coreBuf).Encode(&core); err != nil {
+		bufPool.Put(coreBuf)
+		return nil, fmt.Errorf("cria: encoding image core: %w", err)
+	}
+	coreRaw := coreBuf.Bytes()
+	nCoreBlocks := (len(coreRaw) + marshalCoreBlockBytes - 1) / marshalCoreBlockBytes
+	if nCoreBlocks == 0 {
+		nCoreBlocks = 1 // gob of a struct is never empty, but keep the format total
+	}
+
+	// One job per core block and per segment shard; a GOMAXPROCS-bounded
+	// worker pool fills indexed slots so assembly order — and therefore
+	// the output bytes — is deterministic at any parallelism.
+	type slot struct {
+		comp []byte
+		err  error
+	}
+	slots := make([]slot, nCoreBlocks+len(shards))
+	jobs := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(slots) {
+		workers = len(slots)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if i < nCoreBlocks {
+					lo := i * marshalCoreBlockBytes
+					hi := lo + marshalCoreBlockBytes
+					if hi > len(coreRaw) {
+						hi = len(coreRaw)
+					}
+					slots[i].comp, slots[i].err = deflate(coreRaw[lo:hi])
+					continue
+				}
+				shard := shards[i-nCoreBlocks]
+				sb := bufPool.Get().(*bytes.Buffer)
+				sb.Reset()
+				if err := gob.NewEncoder(sb).Encode(shard); err != nil {
+					slots[i].err = err
+					bufPool.Put(sb)
+					continue
+				}
+				slots[i].comp, slots[i].err = deflate(sb.Bytes())
+				bufPool.Put(sb)
+			}
+		}()
+	}
+	for i := range slots {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	bufPool.Put(coreBuf) // coreRaw no longer referenced past this point
+
+	out := make([]byte, 0, 4+16)
+	out = append(out, marshalMagic...)
+	out = binary.AppendUvarint(out, uint64(nCoreBlocks))
+	out = binary.AppendUvarint(out, uint64(len(shards)))
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, fmt.Errorf("cria: compressing image block %d: %w", i, slots[i].err)
+		}
+		out = binary.AppendUvarint(out, uint64(len(slots[i].comp)))
+		out = append(out, slots[i].comp...)
+	}
+	return out, nil
+}
+
+// Unmarshal decodes an image produced by Marshal. Legacy single-stream
+// images (gob+flate, the seed format) are still accepted.
+func Unmarshal(data []byte) (*Image, error) {
+	if len(data) < len(marshalMagic) || string(data[:len(marshalMagic)]) != marshalMagic {
+		return unmarshalLegacy(data)
+	}
+	rest := data[len(marshalMagic):]
+	nCore, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("cria: corrupt image header (core block count)")
+	}
+	rest = rest[n:]
+	nShards, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("cria: corrupt image header (shard count)")
+	}
+	rest = rest[n:]
+
+	nextBlock := func() ([]byte, error) {
+		ln, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < ln {
+			return nil, fmt.Errorf("cria: corrupt image block length")
+		}
+		block := rest[n : n+int(ln)]
+		rest = rest[n+int(ln):]
+		return inflate(block)
+	}
+
+	var coreRaw []byte
+	for i := uint64(0); i < nCore; i++ {
+		raw, err := nextBlock()
+		if err != nil {
+			return nil, fmt.Errorf("cria: decompressing image core: %w", err)
+		}
+		coreRaw = append(coreRaw, raw...)
+	}
+	var core imageCore
+	if err := gob.NewDecoder(bytes.NewReader(coreRaw)).Decode(&core); err != nil {
+		return nil, fmt.Errorf("cria: decoding image core: %w", err)
+	}
+	if uint64(core.SegmentShards) != nShards {
+		return nil, fmt.Errorf("cria: image shard count mismatch (header %d, core %d)", nShards, core.SegmentShards)
+	}
+	img := &Image{
+		Pkg:             core.Pkg,
+		Spec:            core.Spec,
+		HomeDevice:      core.HomeDevice,
+		CheckpointTime:  core.CheckpointTime,
+		VPID:            core.VPID,
+		FDs:             core.FDs,
+		Handles:         core.Handles,
+		Ashmem:          core.Ashmem,
+		Runtime:         runtimeFromWire(core.Runtime),
+		RecordLog:       core.RecordLog,
+		HomeVolumeSteps: core.HomeVolumeSteps,
+	}
+	for i := uint64(0); i < nShards; i++ {
+		raw, err := nextBlock()
+		if err != nil {
+			return nil, fmt.Errorf("cria: decompressing segment shard %d: %w", i, err)
+		}
+		var shard []kernel.MemSegment
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&shard); err != nil {
+			return nil, fmt.Errorf("cria: decoding segment shard %d: %w", i, err)
+		}
+		img.Segments = append(img.Segments, shard...)
+	}
+	return img, nil
+}
+
+// unmarshalLegacy decodes the seed's single-stream gob+flate format.
+func unmarshalLegacy(data []byte) (*Image, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("cria: decompressing image: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	var img Image
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("cria: decoding image: %w", err)
+	}
+	return &img, nil
+}
+
+// WireBytes is the image's total transfer size: compressed metadata +
+// compressed memory payload + record log. The metadata serialization is
+// memoized (see Marshal), so repeated calls — Migrate computes WireBytes
+// and later re-serializes the image for the guest — cost one encoding.
+func (img *Image) WireBytes() (int64, error) {
+	meta, err := img.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(meta)) + img.CompressedPayloadBytes() + int64(len(img.RecordLog)), nil
+}

@@ -55,7 +55,13 @@ type Cell struct {
 // cell — pairing, workload, migration — runs under one "cell" span on the
 // home device's virtual clock, with the migration's span tree nested
 // inside it.
-func RunOne(p Pair, a apps.App) (rep *migration.Report, err error) {
+func RunOne(p Pair, a apps.App) (*migration.Report, error) {
+	return RunOneOpts(p, a, migration.Options{})
+}
+
+// RunOneOpts is RunOne with migration options (the pipelined-streaming and
+// ablation drivers use it). opts.Span is overridden with the cell span.
+func RunOneOpts(p Pair, a apps.App, opts migration.Options) (rep *migration.Report, err error) {
 	home, err := device.New(p.Home("home"))
 	if err != nil {
 		return nil, err
@@ -83,7 +89,8 @@ func RunOne(p Pair, a apps.App) (rep *migration.Report, err error) {
 	if _, err := apps.Launch(home, a); err != nil {
 		return nil, err
 	}
-	rep, err = migration.New(home, guest, migration.Options{Span: cell}).Migrate(a.Spec.Package)
+	opts.Span = cell
+	rep, err = migration.New(home, guest, opts).Migrate(a.Spec.Package)
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +107,12 @@ func RunOne(p Pair, a apps.App) (rep *migration.Report, err error) {
 // every cell builds its own devices and virtual clocks.
 func RunMatrix() ([]Cell, error) {
 	return RunMatrixWorkers(DefaultMatrixWorkers())
+}
+
+// RunMatrixOpts is RunMatrix with migration options applied to every cell
+// (e.g. Options{Pipelined: true} for the streaming-pipeline matrix).
+func RunMatrixOpts(opts migration.Options) ([]Cell, error) {
+	return RunMatrixWorkersOpts(DefaultMatrixWorkers(), opts)
 }
 
 // DefaultMatrixWorkers returns the worker-pool size RunMatrix uses: one
@@ -123,6 +136,12 @@ func DefaultMatrixWorkers() int {
 // driver. On error the first failing cell in matrix order is reported,
 // again independent of worker count.
 func RunMatrixWorkers(workers int) ([]Cell, error) {
+	return RunMatrixWorkersOpts(workers, migration.Options{})
+}
+
+// RunMatrixWorkersOpts is RunMatrixWorkers with migration options applied
+// to every cell.
+func RunMatrixWorkersOpts(workers int, opts migration.Options) ([]Cell, error) {
 	type job struct {
 		idx  int
 		pair Pair
@@ -150,7 +169,7 @@ func RunMatrixWorkers(workers int) ([]Cell, error) {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				rep, err := RunOne(j.pair, j.app)
+				rep, err := RunOneOpts(j.pair, j.app, opts)
 				if err != nil {
 					errs[j.idx] = fmt.Errorf("%s / %s: %w", j.app.Spec.Label, j.pair.Name, err)
 					continue
@@ -623,6 +642,87 @@ func AblationPostCopy(w io.Writer, a apps.App) error {
 	return nil
 }
 
+// AblationPipeline compares the three transfer strategies — sequential
+// stop-and-copy, the streaming pipeline (chunked checkpoint/compress/
+// transfer/restore overlap), and post-copy deferral — for one app across
+// every Figure-13 device pair. Bytes moved are identical in all three
+// modes; only where the time goes changes.
+func AblationPipeline(w io.Writer, a apps.App) error {
+	fmt.Fprintf(w, "Ablation (streaming pipeline), app %s:\n", a.Spec.Label)
+	for _, p := range Figure12Pairs() {
+		seq, err := RunOneOpts(p, a, migration.Options{})
+		if err != nil {
+			return err
+		}
+		pip, err := RunOneOpts(p, a, migration.Options{Pipelined: true})
+		if err != nil {
+			return err
+		}
+		post, err := RunOneOpts(p, a, migration.Options{PostCopy: true})
+		if err != nil {
+			return err
+		}
+		if pip.TransferredBytes != seq.TransferredBytes {
+			return fmt.Errorf("experiments: pipeline changed bytes on %s: %d vs %d",
+				p.Name, pip.TransferredBytes, seq.TransferredBytes)
+		}
+		fmt.Fprintf(w, "  %-28s sequential %5.2f s | pipelined %5.2f s (saves %5.2f s, %4.1f%%, %d chunks) | post-copy %5.2f s\n",
+			p.Name+":",
+			sec(seq.Timings.UserPerceived()),
+			sec(pip.Timings.UserPerceived()),
+			sec(pip.PipelineSavings),
+			100*sec(pip.PipelineSavings)/sec(seq.Timings.UserPerceived()),
+			pip.PipelineChunks,
+			sec(post.Timings.UserPerceived()))
+	}
+	return nil
+}
+
+// ComparePipeline runs the full evaluation matrix sequentially and
+// pipelined on a workers-wide pool, prints the comparison, and returns
+// the aggregate metrics fluxbench folds into BENCH_results.json. It
+// errors if any cell's byte accounting diverges between the two modes —
+// the pipeline must change timings only.
+func ComparePipeline(w io.Writer, workers int) (map[string]float64, error) {
+	seq, err := RunMatrixWorkersOpts(workers, migration.Options{})
+	if err != nil {
+		return nil, err
+	}
+	pip, err := RunMatrixWorkersOpts(workers, migration.Options{Pipelined: true})
+	if err != nil {
+		return nil, err
+	}
+	var seqUser, pipUser, saved time.Duration
+	var chunks int
+	for i := range seq {
+		s, p := seq[i].Report, pip[i].Report
+		if s.TransferredBytes != p.TransferredBytes ||
+			s.ImageBytes != p.ImageBytes ||
+			s.CompressedImageBytes != p.CompressedImageBytes {
+			return nil, fmt.Errorf("experiments: pipeline changed bytes for %s / %s",
+				seq[i].App.Spec.Label, seq[i].Pair.Name)
+		}
+		seqUser += s.Timings.UserPerceived()
+		pipUser += p.Timings.UserPerceived()
+		saved += p.PipelineSavings
+		chunks += p.PipelineChunks
+	}
+	n := time.Duration(len(seq))
+	pct := 100 * float64(seqUser-pipUser) / float64(seqUser)
+	fmt.Fprintf(w, "Streaming pipeline over the %d-migration matrix:\n", len(seq))
+	fmt.Fprintf(w, "  sequential avg user-perceived: %6.2f s\n", sec(seqUser/n))
+	fmt.Fprintf(w, "  pipelined  avg user-perceived: %6.2f s\n", sec(pipUser/n))
+	fmt.Fprintf(w, "  avg savings: %6.2f s (%.1f%%), avg %d chunks/migration\n",
+		sec(saved/n), pct, chunks/len(seq))
+	return map[string]float64{
+		"seq_avg_user_s":       sec(seqUser / n),
+		"pipelined_avg_user_s": sec(pipUser / n),
+		"avg_savings_s":        sec(saved / n),
+		"savings_pct":          pct,
+		"avg_chunks":           float64(chunks) / float64(len(seq)),
+	}, nil
+}
+
 // RenderAll runs every experiment and writes the full evaluation output.
 // benchIters tunes Figure 16's wall-clock measurement; playN the Figure 17
 // catalog size.
@@ -694,6 +794,9 @@ func RenderAllResults(w io.Writer, benchIters, playN, workers int) (*Results, er
 		}},
 		{"ablation_post_copy", func() (map[string]float64, error) {
 			return nil, AblationPostCopy(w, *apps.ByPackage("com.king.candycrushsaga"))
+		}},
+		{"ablation_pipeline", func() (map[string]float64, error) {
+			return nil, AblationPipeline(w, *apps.ByPackage("com.king.candycrushsaga"))
 		}},
 	}
 	for i, s := range sections {

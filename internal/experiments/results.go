@@ -105,12 +105,12 @@ func MatrixMetrics(cells []Cell) map[string]float64 {
 	}
 	n := float64(len(cells))
 	return map[string]float64{
-		"migrations":               n,
-		"avg_virtual_migration_s":  total / n,
-		"avg_user_perceived_s":     user / n,
-		"avg_excl_transfer_s":      exclXfer / n,
-		"avg_transfer_share_pct":   100 * xferFrac / n,
-		"avg_transferred_mb":       wireMB / n,
-		"max_transferred_mb":       mb(maxWire),
+		"migrations":              n,
+		"avg_virtual_migration_s": total / n,
+		"avg_user_perceived_s":    user / n,
+		"avg_excl_transfer_s":     exclXfer / n,
+		"avg_transfer_share_pct":  100 * xferFrac / n,
+		"avg_transferred_mb":      wireMB / n,
+		"max_transferred_mb":      mb(maxWire),
 	}
 }

@@ -100,6 +100,14 @@ type Report struct {
 	// PostCopyResidualBytes is the payload streamed after the synchronous
 	// transfer stage under Options.PostCopy.
 	PostCopyResidualBytes int64
+	// PipelineChunks is the number of wire chunks streamed (Pipelined
+	// runs only; includes the leading delta lane when deltas shipped).
+	PipelineChunks int
+	// PipelineSavings is the user-perceived time the streaming pipeline
+	// saved versus the sequential stop-and-copy counterfactual with the
+	// same inputs (Pipelined runs only; no post-copy deferral in the
+	// counterfactual).
+	PipelineSavings time.Duration
 	// ReplayStats summarizes adaptive replay.
 	ReplayStats replay.Stats
 	// StateBefore/StateAfter are the aggregate service states on home (at
@@ -159,6 +167,17 @@ type Options struct {
 	// PostCopyWorkingSet is the fraction of the compressed payload shipped
 	// synchronously under PostCopy; default 0.3.
 	PostCopyWorkingSet float64
+	// Pipelined streams the migration instead of running stop-and-copy:
+	// the image ships as ordered wire chunks (cria.Image.Chunks) and
+	// checkpoint, compression, transfer, restore, and replay overlap on
+	// the virtual timeline (see pipeline.go). Byte accounting is identical
+	// to the sequential model — only the Timings change — and
+	// Report.PipelineSavings records the user-perceived time won.
+	Pipelined bool
+	// PipelineChunkBytes is the raw chunk size of the stream; zero means
+	// DefaultPipelineChunkBytes and values below MinPipelineChunkBytes are
+	// clamped up.
+	PipelineChunkBytes int64
 	// Engine overrides the replay engine (tests inject failing proxies).
 	Engine *replay.Engine
 	// Span optionally parents the migration's telemetry span tree (the
@@ -191,6 +210,21 @@ func New(home, guest *device.Device, opts Options) *Migrator {
 func (m *Migrator) advanceBoth(d time.Duration) {
 	m.Home.Kernel.Clock().Advance(d)
 	m.Guest.Kernel.Clock().Advance(d)
+}
+
+// chunkBytes resolves the streaming chunk size from the options: zero
+// means DefaultPipelineChunkBytes, anything smaller than
+// MinPipelineChunkBytes clamps up (per-chunk framing would swamp the
+// overlap win below it).
+func (m *Migrator) chunkBytes() int64 {
+	cb := m.Opts.PipelineChunkBytes
+	if cb <= 0 {
+		cb = DefaultPipelineChunkBytes
+	}
+	if cb < MinPipelineChunkBytes {
+		cb = MinPipelineChunkBytes
+	}
+	return cb
 }
 
 // cpuTime models CPU-bound work of `bytes` at `rate` bytes/sec on a 1.0
@@ -279,7 +313,7 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 		sp.End()
 		return nil, fmt.Errorf("migration: eglUnload: %w", err)
 	}
-	prepWork := cpuTime(60*time.Millisecond, texBytes, 400<<20, homeCPU)
+	prepWork := cpuTime(prepFixed, texBytes, prepRate, homeCPU)
 	m.advanceBoth(prepWork)
 	rep.Timings[StagePreparation] = idle + prepWork
 	sp.Attr(
@@ -290,7 +324,7 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	// ---- Stage 2: Checkpoint --------------------------------------------
 	sp = span.Child(StageCheckpoint.SpanName())
 	img, err := cria.Checkpoint(app, cria.Options{
-		Span: sp,
+		Span:            sp,
 		HomeDevice:      m.Home.Name(),
 		ServiceManager:  m.Home.Kernel.Binder().ServiceManager(),
 		Recorder:        m.Home.Recorder,
@@ -318,9 +352,21 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	}
 	rep.CompressedImageBytes = imgWire
 	rep.RecordLogBytes = int64(len(img.RecordLog))
-	ckptDur := cpuTime(90*time.Millisecond, rep.ImageBytes, 160<<20, homeCPU)
-	m.advanceBoth(ckptDur)
-	rep.Timings[StageCheckpoint] = ckptDur
+	var plan *pipelinePlan
+	if m.Opts.Pipelined {
+		chunks, cerr := img.Chunks(m.chunkBytes())
+		if cerr != nil {
+			sp.End()
+			return nil, cerr
+		}
+		plan = planPipeline(chunks, homeCPU, m.Opts.SkipCompression)
+		m.advanceBoth(plan.CompDone)
+		rep.Timings[StageCheckpoint] = plan.CompDone
+	} else {
+		ckptDur := cpuTime(ckptFixed, rep.ImageBytes, ckptRate, homeCPU)
+		m.advanceBoth(ckptDur)
+		rep.Timings[StageCheckpoint] = ckptDur
+	}
 	sp.Attr(
 		obs.Int64("image_bytes", rep.ImageBytes),
 		obs.Int64("compressed_image_bytes", rep.CompressedImageBytes),
@@ -352,7 +398,45 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	wire := rep.DataDeltaBytes + apkDelta + imageWire
 	rep.TransferredBytes = wire + residual
 	rep.PostCopyResidualBytes = residual
-	transferDur := link.TransferTime(wire)
+	var transferDur time.Duration
+	if plan != nil {
+		// Streamed: the full image (working set first) ships synchronously
+		// as chunk lanes overlapping compression on one side and restore on
+		// the other; PostCopy only moves the replay gate (the working-set
+		// fraction), never defers bytes out of the stream.
+		ws := DefaultPipelineWorkingSet
+		if m.Opts.PostCopy {
+			ws = m.Opts.PostCopyWorkingSet
+			if ws <= 0 || ws > 1 {
+				ws = DefaultPipelineWorkingSet
+			}
+		}
+		plan.scheduleStream(rep.DataDeltaBytes+apkDelta, link, guestCPU, ws)
+		// Account the stream on the link's telemetry. The makespan comes
+		// from the schedule: stalls waiting on compression are the
+		// pipeline's, not the link's, so StreamTime's return is unused.
+		wires := make([]int64, len(plan.Lanes))
+		for i := range plan.Lanes {
+			wires[i] = plan.Lanes[i].Wire
+		}
+		link.StreamTime(wires)
+		transferDur = plan.XferDone - plan.CompDone
+		rep.PipelineChunks = len(plan.Lanes)
+		plan.emitChunkSpans(sp)
+		if obs.Enabled() {
+			mm := obs.M()
+			mm.Counter(MetricPipelineChunks).Add(uint64(len(plan.Lanes)))
+			mm.Histogram(MetricPipelineStallSeconds, obs.DurationBuckets, "kind", "wire").Observe(plan.WireStall.Seconds())
+			mm.Histogram(MetricPipelineStallSeconds, obs.DurationBuckets, "kind", "restore").Observe(plan.RstrStall.Seconds())
+		}
+		sp.Attr(
+			obs.Int64("pipeline_chunks", int64(len(plan.Lanes))),
+			obs.Int64("pipeline_wire_stall_us", plan.WireStall.Microseconds()),
+			obs.Int64("pipeline_restore_stall_us", plan.RstrStall.Microseconds()),
+		)
+	} else {
+		transferDur = link.TransferTime(wire)
+	}
 	m.advanceBoth(transferDur)
 	rep.Timings[StageTransfer] = transferDur
 	sp.Attr(
@@ -380,7 +464,12 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 		sp.End()
 		return nil, err
 	}
-	restoreDur := cpuTime(450*time.Millisecond, rep.ImageBytes, 180<<20, guestCPU)
+	var restoreDur time.Duration
+	if plan != nil {
+		restoreDur = plan.RstrDone - plan.XferDone
+	} else {
+		restoreDur = cpuTime(rstrFixed, rep.ImageBytes, rstrRate, guestCPU)
+	}
 	m.advanceBoth(restoreDur)
 	rep.Timings[StageRestore] = restoreDur
 	sp.Attr(
@@ -417,16 +506,40 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	if err := m.Guest.Runtime.Foreground(restored.App); err != nil {
 		return nil, fmt.Errorf("migration: foreground: %w", err)
 	}
-	reintDur := cpuTime(380*time.Millisecond, texBytes, 250<<20, guestCPU) +
-		time.Duration(len(restored.Entries))*5*time.Millisecond
-	if residual > 0 {
-		// The residual payload streams while restore and reintegration run;
-		// only the part that outlasts them extends the reintegration stage
-		// (demand paging stalls are folded into the stream time).
-		streaming := link.TransferTime(residual)
-		overlapped := rep.Timings[StageRestore] + reintDur
-		if streaming > overlapped {
-			reintDur += streaming - overlapped
+	var reintDur time.Duration
+	if plan != nil {
+		reintDur = plan.reintTail(len(restored.Entries), texBytes, guestCPU)
+		// Savings versus the sequential stop-and-copy counterfactual with
+		// identical inputs. The pipelined user-perceived window is exactly
+		// Timings.UserPerceived() (the stage boundaries partition the
+		// makespan), so this equals a measured sequential run's
+		// UserPerceived minus ours, byte for byte.
+		seqWire := rep.DataDeltaBytes + apkDelta + rep.CompressedImageBytes
+		if m.Opts.SkipCompression {
+			seqWire = rep.DataDeltaBytes + apkDelta + rep.ImageBytes + rep.RecordLogBytes
+		}
+		seq := sequentialUserPerceived(link, seqWire, rep.ImageBytes, texBytes, len(restored.Entries), guestCPU)
+		rep.PipelineSavings = seq - plan.userPerceived(reintDur)
+		if obs.Enabled() {
+			saved := rep.PipelineSavings
+			if saved < 0 {
+				saved = 0
+			}
+			obs.M().Histogram(MetricPipelineSavedSeconds, obs.DurationBuckets).Observe(saved.Seconds())
+		}
+	} else {
+		reintDur = cpuTime(reintFixed, texBytes, reintTexRate, guestCPU) +
+			time.Duration(len(restored.Entries))*replayPerEntry
+		if residual > 0 {
+			// The residual payload streams while restore and reintegration
+			// run; only the part that outlasts them extends the
+			// reintegration stage (demand paging stalls are folded into the
+			// stream time).
+			streaming := link.TransferTime(residual)
+			overlapped := rep.Timings[StageRestore] + reintDur
+			if streaming > overlapped {
+				reintDur += streaming - overlapped
+			}
 		}
 	}
 	m.advanceBoth(reintDur)

@@ -22,6 +22,8 @@ const (
 	MetricTransferBytes = "flux_net_transfer_bytes_total"
 	// MetricTransferSeconds is the modelled transfer duration histogram.
 	MetricTransferSeconds = "flux_net_transfer_seconds"
+	// MetricStreamChunks counts chunks shipped by streamed transfers.
+	MetricStreamChunks = "flux_net_stream_chunks_total"
 )
 
 func init() {
@@ -29,6 +31,7 @@ func init() {
 	m.Describe(MetricTransfers, "Simulated wireless transfers, by link.")
 	m.Describe(MetricTransferBytes, "Payload bytes shipped over simulated links.")
 	m.Describe(MetricTransferSeconds, "Modelled transfer durations on the virtual clock, in seconds.")
+	m.Describe(MetricStreamChunks, "Chunks shipped by streamed (chunked) link transfers.")
 }
 
 // Radio describes one device's WiFi adapter as deployed (i.e. effective
@@ -99,7 +102,92 @@ func (l Link) transferTime(n int64) time.Duration {
 	if bw <= 0 {
 		return l.Latency()
 	}
-	return l.Latency() + time.Duration(float64(n)/float64(bw)*float64(time.Second))
+	return l.Latency() + payloadTime(n, bw)
+}
+
+// payloadTime is the pure airtime of n bytes at bw bytes/sec.
+func payloadTime(n, bw int64) time.Duration {
+	return time.Duration(float64(n) / float64(bw) * float64(time.Second))
+}
+
+// ModelTime is TransferTime without the telemetry side effects: the
+// modelled duration of shipping n bytes. The migration pipeline uses it
+// to compute counterfactual (sequential-baseline) durations without
+// inflating the transfer counters.
+func (l Link) ModelTime(n int64) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	return l.transferTime(n)
+}
+
+// StreamChunkOverhead is the per-chunk framing/acknowledgement cost of a
+// chunked stream beyond the first chunk (the first is covered by the
+// link's setup latency). Small relative to SetupLatency: the stream stays
+// inside one negotiated session.
+const StreamChunkOverhead = 500 * time.Microsecond
+
+// ChunkTimes returns the wire duration of each chunk in a streamed
+// transfer: chunk 0 carries the link setup latency, every later chunk a
+// StreamChunkOverhead. Per-chunk airtime is computed from cumulative
+// payload deltas, so the total telescopes to exactly
+//
+//	TransferTime(sum) + (len(chunks)-1) * StreamChunkOverhead
+//
+// — chunking never changes total airtime, only adds framing (tested
+// equivalence). Negative chunk sizes count as zero.
+func (l Link) ChunkTimes(chunks []int64) []time.Duration {
+	out := make([]time.Duration, len(chunks))
+	bw := l.Bandwidth()
+	var cum int64
+	var prev time.Duration
+	for i, n := range chunks {
+		if n < 0 {
+			n = 0
+		}
+		cum += n
+		var d time.Duration
+		if bw > 0 {
+			cur := payloadTime(cum, bw)
+			d = cur - prev
+			prev = cur
+		}
+		if i == 0 {
+			d += l.Latency()
+		} else {
+			d += StreamChunkOverhead
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// StreamTime returns how long shipping the chunk stream takes on the
+// link, assuming the sender always has the next chunk ready (pipeline
+// stalls are the scheduler's concern, not the link's). Equals
+// TransferTime of the summed payload plus per-chunk overhead; an empty
+// stream costs the setup latency.
+func (l Link) StreamTime(chunks []int64) time.Duration {
+	var d time.Duration
+	var total int64
+	for i, t := range l.ChunkTimes(chunks) {
+		d += t
+		if c := chunks[i]; c > 0 {
+			total += c
+		}
+	}
+	if len(chunks) == 0 {
+		d = l.Latency()
+	}
+	if obs.Enabled() {
+		m := obs.M()
+		label := l.A.Name + "<->" + l.B.Name
+		m.Counter(MetricTransfers, "link", label).Inc()
+		m.Counter(MetricTransferBytes, "link", label).Add(uint64(total))
+		m.Counter(MetricStreamChunks, "link", label).Add(uint64(len(chunks)))
+		m.Histogram(MetricTransferSeconds, obs.DurationBuckets, "link", label).Observe(d.Seconds())
+	}
+	return d
 }
 
 // String describes the link.

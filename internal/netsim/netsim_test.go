@@ -71,3 +71,121 @@ func TestLinkString(t *testing.T) {
 		t.Error("empty link description")
 	}
 }
+
+// TestStreamEquivalence pins the chunking exactness contract: a streamed
+// transfer costs exactly the classic TransferTime of the summed payload
+// plus per-chunk framing — chunking never changes total airtime.
+func TestStreamEquivalence(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n24G}
+	cases := [][]int64{
+		{100},
+		{1 << 20},
+		{512 << 10, 512 << 10},
+		{1, 1, 1, 1, 1},
+		{0, 1 << 20, 0},
+		{3, 1000, 70_000, 123_456, 7},
+	}
+	for _, chunks := range cases {
+		var sum int64
+		for _, c := range chunks {
+			sum += c
+		}
+		var streamed time.Duration
+		for _, d := range l.ChunkTimes(chunks) {
+			streamed += d
+		}
+		want := l.ModelTime(sum) + time.Duration(len(chunks)-1)*StreamChunkOverhead
+		if streamed != want {
+			t.Errorf("chunks %v: streamed %v != TransferTime(sum)+overhead %v", chunks, streamed, want)
+		}
+	}
+}
+
+// TestStreamEquivalenceProperty fuzzes chunk streams (including negative
+// chunk sizes, which count as zero payload) against the telescoping
+// identity.
+func TestStreamEquivalenceProperty(t *testing.T) {
+	l := Link{A: Radio80211n24G, B: Radio80211n24G}
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		chunks := make([]int64, len(raw))
+		var sum int64
+		for i, r := range raw {
+			chunks[i] = int64(r)
+			if r > 0 {
+				sum += int64(r)
+			}
+		}
+		var streamed time.Duration
+		for _, d := range l.ChunkTimes(chunks) {
+			streamed += d
+		}
+		want := l.ModelTime(sum) + time.Duration(len(chunks)-1)*StreamChunkOverhead
+		return streamed == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamTimeEmptyAndMetrics: an empty stream costs the setup latency;
+// StreamTime equals the summed chunk times otherwise.
+func TestStreamTimeEmpty(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n5G}
+	if got := l.StreamTime(nil); got != l.Latency() {
+		t.Errorf("empty stream = %v, want latency %v", got, l.Latency())
+	}
+	chunks := []int64{4096, 0, 100_000}
+	var want time.Duration
+	for _, d := range l.ChunkTimes(chunks) {
+		want += d
+	}
+	if got := l.StreamTime(chunks); got != want {
+		t.Errorf("StreamTime %v != Σ ChunkTimes %v", got, want)
+	}
+}
+
+// TestChunkTimesFirstCarriesLatency: chunk 0 pays the link setup, later
+// chunks only the per-chunk framing overhead.
+func TestChunkTimesFirstCarriesLatency(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n24G}
+	times := l.ChunkTimes([]int64{0, 0, 0})
+	if times[0] != l.Latency() {
+		t.Errorf("first chunk %v, want setup latency %v", times[0], l.Latency())
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] != StreamChunkOverhead {
+			t.Errorf("chunk %d = %v, want framing overhead %v", i, times[i], StreamChunkOverhead)
+		}
+	}
+}
+
+// TestModelTimeMatchesTransferTime: the metrics-free counterfactual path
+// computes the same duration as the accounted one.
+func TestModelTimeMatchesTransferTime(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n24G}
+	for _, n := range []int64{-5, 0, 1, 4096, 56 << 20} {
+		if got, want := l.ModelTime(n), l.TransferTime(n); got != want {
+			t.Errorf("ModelTime(%d) = %v, TransferTime = %v", n, got, want)
+		}
+	}
+}
+
+// BenchmarkChunkTimes measures the streamed-schedule arithmetic at the
+// pipeline's typical lane count (~50 chunks per migration).
+func BenchmarkChunkTimes(b *testing.B) {
+	l := Link{A: Radio80211n5G, B: Radio80211n24G}
+	chunks := make([]int64, 50)
+	for i := range chunks {
+		chunks[i] = 256 << 10
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if times := l.ChunkTimes(chunks); len(times) != len(chunks) {
+			b.Fatal("bad schedule")
+		}
+	}
+}

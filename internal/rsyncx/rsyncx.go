@@ -41,6 +41,12 @@ func (f File) CompressedSize() int64 {
 type Tree struct {
 	mu    sync.RWMutex
 	files map[string]File
+	// sorted memoizes Files(): planning walks the same unchanged system
+	// partitions (playstore-catalog scale) repeatedly during pairing and
+	// data sync, and re-sorting them dominated BuildPlan. Mutations drop
+	// the cache; rebuilds allocate a fresh slice, so snapshots handed out
+	// earlier stay valid.
+	sorted []File
 }
 
 // NewTree returns an empty tree.
@@ -51,13 +57,17 @@ func (t *Tree) Add(f File) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.files[f.Path] = f
+	t.sorted = nil
 }
 
 // Remove deletes a path; missing paths are a no-op.
 func (t *Tree) Remove(path string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	delete(t.files, path)
+	if _, ok := t.files[path]; ok {
+		delete(t.files, path)
+		t.sorted = nil
+	}
 }
 
 // Get returns the file at path.
@@ -86,16 +96,28 @@ func (t *Tree) TotalBytes() int64 {
 	return n
 }
 
-// Files returns the tree's files sorted by path.
+// Files returns the tree's files sorted by path. The returned slice is a
+// shared snapshot — callers must not modify it. It stays valid across
+// later mutations (mutations rebuild a fresh slice rather than resorting
+// in place).
 func (t *Tree) Files() []File {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]File, 0, len(t.files))
-	for _, f := range t.files {
-		out = append(out, f)
+	s := t.sorted
+	t.mu.RUnlock()
+	if s != nil {
+		return s
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
-	return out
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sorted == nil {
+		out := make([]File, 0, len(t.files))
+		for _, f := range t.files {
+			out = append(out, f)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+		t.sorted = out
+	}
+	return t.sorted
 }
 
 // Clone returns a deep copy.
@@ -165,9 +187,11 @@ func (p Plan) LinkedBytes() int64 {
 // source, mirroring `rsync --link-dest`. linkDest may be nil.
 func BuildPlan(src, dst, linkDest *Tree) Plan {
 	var plan Plan
-	linkable := make(map[uint64]bool)
+	var linkable map[uint64]bool
 	if linkDest != nil {
-		for _, f := range linkDest.Files() {
+		ldf := linkDest.Files()
+		linkable = make(map[uint64]bool, len(ldf))
+		for _, f := range ldf {
 			linkable[f.Hash] = true
 		}
 	}

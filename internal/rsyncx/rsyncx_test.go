@@ -1,6 +1,7 @@
 package rsyncx
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -135,5 +136,68 @@ func TestTotalBytesAndLen(t *testing.T) {
 	tr.Remove("/a")
 	if tr.TotalBytes() != 7 {
 		t.Errorf("TotalBytes after remove = %d", tr.TotalBytes())
+	}
+}
+
+func TestFilesMemoization(t *testing.T) {
+	tr := tree(File{Path: "/b", Size: 2, Hash: 2}, File{Path: "/a", Size: 1, Hash: 1})
+	first := tr.Files()
+	if len(first) != 2 || first[0].Path != "/a" || first[1].Path != "/b" {
+		t.Fatalf("unexpected sort order: %+v", first)
+	}
+	// Unchanged tree: same snapshot back, no rebuild.
+	if second := tr.Files(); &second[0] != &first[0] {
+		t.Error("Files() rebuilt the slice for an unchanged tree")
+	}
+	// Mutation invalidates the cache but leaves the old snapshot intact.
+	tr.Add(File{Path: "/c", Size: 3, Hash: 3})
+	third := tr.Files()
+	if len(third) != 3 || third[2].Path != "/c" {
+		t.Fatalf("post-Add snapshot wrong: %+v", third)
+	}
+	if len(first) != 2 || first[0].Path != "/a" || first[1].Path != "/b" {
+		t.Errorf("old snapshot mutated: %+v", first)
+	}
+	// Removing a missing path keeps the cache.
+	tr.Remove("/nope")
+	if again := tr.Files(); &again[0] != &third[0] {
+		t.Error("no-op Remove invalidated the cache")
+	}
+	tr.Remove("/a")
+	if after := tr.Files(); len(after) != 2 || after[0].Path != "/b" {
+		t.Errorf("post-Remove snapshot wrong: %+v", after)
+	}
+}
+
+// benchTree builds an n-file tree with playstore-like path depth and a
+// mix of hashes so some files hard-link and some transfer.
+func benchTree(n int, seed uint64) *Tree {
+	tr := NewTree()
+	for i := 0; i < n; i++ {
+		h := seed + uint64(i)*2654435761
+		tr.Add(File{
+			Path:    fmt.Sprintf("/data/app/pkg%03d/files/asset-%05d.bin", i%97, i),
+			Size:    int64(1024 + i%4096),
+			Hash:    h,
+			Entropy: 0.5,
+		})
+	}
+	return tr
+}
+
+func BenchmarkBuildPlan(b *testing.B) {
+	// Playstore-catalog scale: a system partition's worth of files, with
+	// the guest half-synced and a link-dest tree that can absorb a third.
+	const n = 4096
+	src := benchTree(n, 0)
+	dst := benchTree(n/2, 0)
+	link := benchTree(n/3, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := BuildPlan(src, dst, link)
+		if len(plan.Transfer) == 0 {
+			b.Fatal("plan transferred nothing")
+		}
 	}
 }

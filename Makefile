@@ -6,13 +6,15 @@
 #   make bench       hot-path microbenchmarks + matrix scaling benchmarks
 #   make bench-pipeline  parallel-marshal / chunking / streamed-link /
 #                    rsyncx benchmarks plus the streamed-vs-sequential matrix
+#   make bench-faults  fault matrix: recovery rate and overhead at the
+#                    headline (15%) and hostile (75%) chunk fault rates
 #   make results     regenerate every figure and write BENCH_results.json
 #   make trace-demo  run one telemetry-enabled migration and write a
 #                    sample Chrome trace (trace-demo.json) + stage report
 
 GO ?= go
 
-.PHONY: all verify vet build test race bench bench-pipeline results trace-demo clean
+.PHONY: all verify vet build test race bench bench-pipeline bench-faults results trace-demo clean
 
 all: verify
 
@@ -30,10 +32,11 @@ test:
 # The packages with lock-free/sharded hot paths and the parallel matrix
 # driver. Keep this green: the sharded record log, the worker-pool
 # evaluation driver, the telemetry ring/registry, the span-instrumented
-# migration pipeline, the parallel image marshaller, and the memoized
-# sync trees are only correct if they are race-clean.
+# migration pipeline (including its fault-recovery retry paths), the
+# concurrent fault injector, the parallel image marshaller, and the
+# memoized sync trees are only correct if they are race-clean.
 race:
-	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/
+	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/ ./internal/faults/
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/record/
@@ -49,6 +52,13 @@ bench-pipeline:
 	$(GO) test -bench=. -benchmem ./internal/netsim/
 	$(GO) test -bench='BenchmarkBuildPlan' -benchmem ./internal/rsyncx/
 	$(GO) run ./cmd/fluxbench -pipeline -json ""
+
+# The fault matrix twice over: the headline model (15% chunk faults,
+# ≤1 link flap per migration — the ≥99% recovery acceptance bar) and a
+# hostile 75% rate that exercises rollback-to-home at scale.
+bench-faults:
+	$(GO) run ./cmd/fluxbench -faults -fault-rate 0.15 -json ""
+	$(GO) run ./cmd/fluxbench -faults -fault-rate 0.75 -json ""
 
 results:
 	$(GO) run ./cmd/fluxbench -all -json BENCH_results.json

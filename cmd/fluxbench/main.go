@@ -17,6 +17,8 @@
 //	fluxbench -summary             # headline numbers vs paper
 //	fluxbench -ablations           # design ablations
 //	fluxbench -pipeline            # streaming pipeline vs sequential matrix
+//	fluxbench -faults              # fault matrix: recovery rate + overhead
+//	fluxbench -faults -fault-rate 0.35 -fault-seed 7   # hostile link sweep point
 //
 // The 64-migration evaluation matrix runs on a bounded worker pool
 // (-workers, default: one per CPU); its output is byte-identical for any
@@ -49,6 +51,9 @@ func main() {
 		summary    = flag.Bool("summary", false, "headline summary vs paper")
 		ablations  = flag.Bool("ablations", false, "design ablations")
 		pipeline   = flag.Bool("pipeline", false, "run the 64-migration matrix sequential and pipelined, report savings")
+		faultsRun  = flag.Bool("faults", false, "run the 64-migration matrix under fault injection, report recovery rate and overhead")
+		faultRate  = flag.Float64("fault-rate", 0.15, "per-chunk fault probability for -faults")
+		faultSeed  = flag.Int64("fault-seed", 1, "base injector seed for -faults (per-cell seeds derive from it)")
 		all        = flag.Bool("all", false, "everything, in paper order")
 		benchIters = flag.Int("bench-iters", 2000, "iterations per Figure 16 benchmark")
 		playN      = flag.Int("play-n", 488259, "Figure 17 catalog size")
@@ -60,7 +65,7 @@ func main() {
 	if *tracePath != "" {
 		obs.SetEnabled(true)
 	}
-	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *pipeline, *all, *benchIters, *playN, *workers, *jsonPath); err != nil {
+	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *pipeline, *all, *benchIters, *playN, *workers, *jsonPath, *faultsRun, *faultRate, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxbench:", err)
 		os.Exit(1)
 	}
@@ -75,7 +80,7 @@ func main() {
 	}
 }
 
-func run(table, fig int, pairing, failures, summary, ablations, pipeline, all bool, benchIters, playN, workers int, jsonPath string) error {
+func run(table, fig int, pairing, failures, summary, ablations, pipeline, all bool, benchIters, playN, workers int, jsonPath string, faultsRun bool, faultRate float64, faultSeed int64) error {
 	w := os.Stdout
 	if workers < 1 {
 		workers = experiments.DefaultMatrixWorkers()
@@ -222,6 +227,19 @@ func run(table, fig int, pairing, failures, summary, ablations, pipeline, all bo
 			m, err := experiments.ComparePipeline(w, workers)
 			if err == nil {
 				fmt.Fprintf(w, "(pipeline: two matrices on %d workers in %.2fs wall-clock)\n",
+					workers, time.Since(start).Seconds())
+			}
+			return m, err
+		}); err != nil {
+			return err
+		}
+	}
+	if faultsRun {
+		if err := timed("fault_matrix", func() (map[string]float64, error) {
+			start := time.Now()
+			m, err := experiments.FaultMatrix(w, workers, faultSeed, faultRate)
+			if err == nil {
+				fmt.Fprintf(w, "(faults: clean + faulted matrix on %d workers in %.2fs wall-clock)\n",
 					workers, time.Since(start).Seconds())
 			}
 			return m, err

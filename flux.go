@@ -36,6 +36,7 @@ import (
 	"flux/internal/apps"
 	"flux/internal/device"
 	"flux/internal/experiments"
+	"flux/internal/faults"
 	"flux/internal/migration"
 	"flux/internal/pairing"
 	"flux/internal/playstore"
@@ -91,6 +92,46 @@ const (
 	ResolveKeepRemote = migration.ResolveKeepRemote
 	ResolveKeepLocal  = migration.ResolveKeepLocal
 )
+
+// Fault injection (DESIGN.md §5e): a deterministic, seedable injector
+// fires wire and stage faults so migrations exercise their recovery
+// paths — resumable checksummed chunk retransmission under capped
+// exponential backoff, and rollback-to-home when retries exhaust.
+type (
+	// FaultInjector decides, deterministically from its seed, whether
+	// each potential fault fires. Set it on MigrateOptions.Faults; a nil
+	// injector (the default) disables every recovery code path.
+	FaultInjector = faults.Injector
+	// FaultPlan maps fault sites to their firing rules.
+	FaultPlan = faults.Plan
+	// FaultRule is one site's probability and optional firing cap.
+	FaultRule = faults.Rule
+	// FaultSite names a place a fault can fire.
+	FaultSite = faults.Site
+)
+
+// The fault sites an injector can fire.
+const (
+	FaultLinkFlap     = faults.LinkFlap
+	FaultChunkCorrupt = faults.ChunkCorrupt
+	FaultChunkLoss    = faults.ChunkLoss
+	FaultRestoreFail  = faults.RestoreFail
+	FaultReplayFail   = faults.ReplayFail
+)
+
+// NewFaultInjector builds a deterministic injector from a seed and plan.
+func NewFaultInjector(seed int64, plan FaultPlan) *FaultInjector {
+	return faults.New(seed, plan)
+}
+
+// ErrRolledBack reports a migration whose fault recovery exhausted its
+// retries: the guest's partial state was discarded and the home device
+// foregrounded the intact app. No state is lost.
+var ErrRolledBack = migration.ErrRolledBack
+
+// RetryPolicy bounds fault recovery (MigrateOptions.Retry); its zero
+// value selects the defaults.
+type RetryPolicy = migration.RetryPolicy
 
 // Nexus4 is the evaluation's phone profile (Snapdragon S4 Pro, Adreno 320,
 // 768x1280, kernel 3.4, 5 GHz 802.11n).

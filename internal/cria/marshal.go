@@ -23,16 +23,26 @@ package cria
 //     pairs, making the wire bytes (and therefore CompressedImageBytes)
 //     deterministic across runs — gob's native map encoding is not.
 //
-// Unmarshal transparently falls back to the seed's legacy single-stream
-// format: a legacy stream can never start with the new magic (its first
-// byte would decode as an invalid DEFLATE block type).
+// The container carries a CRC32 (Castagnoli) checksum per compressed
+// block, written between the block's length and its bytes. Unmarshal
+// verifies every checksum before inflating, so wire corruption is
+// detected deterministically (and cheaply) instead of surfacing as a
+// DEFLATE or gob error deep in the decode — the migration fault-recovery
+// path relies on this to re-request exactly the corrupt chunk.
+//
+// Unmarshal transparently decodes the two legacy formats: FXC1
+// containers (the checksum-less predecessor) and the seed's single
+// gob+flate stream. A legacy stream can never start with either magic
+// (its first byte would decode as an invalid DEFLATE block type).
 
 import (
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
+	"errors"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"runtime"
 	"sort"
@@ -44,8 +54,12 @@ import (
 )
 
 const (
-	// marshalMagic tags the chunk-parallel container format.
-	marshalMagic = "FXC1"
+	// marshalMagic tags the current chunk-parallel container format:
+	// per-block CRC32 checksums between each block length and its bytes.
+	marshalMagic = "FXC2"
+	// marshalMagicV1 tags the checksum-less predecessor container;
+	// still decoded, never produced.
+	marshalMagicV1 = "FXC1"
 	// marshalCoreBlockBytes is the raw gob bytes per parallel-compressed
 	// core block. Fixed (not GOMAXPROCS-derived) so the container bytes
 	// are machine-independent.
@@ -136,43 +150,46 @@ var (
 )
 
 // deflate compresses raw with a pooled writer, returning a fresh slice.
+// On any error the writer is dropped, not recycled: a flate.Writer that
+// failed a Write or Close may hold broken window/stream state, and a
+// sync.Pool must only ever contain known-good objects. The scratch
+// buffer is plain bytes and is always safe to recycle (it is Reset on
+// every Get).
 func deflate(raw []byte) ([]byte, error) {
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
+	defer bufPool.Put(buf)
 	w := flateWriterPool.Get().(*flate.Writer)
 	w.Reset(buf)
 	if _, err := w.Write(raw); err != nil {
-		flateWriterPool.Put(w)
-		bufPool.Put(buf)
-		return nil, err
+		return nil, err // drop w: state unknown after a failed Write
 	}
 	if err := w.Close(); err != nil {
-		flateWriterPool.Put(w)
-		bufPool.Put(buf)
-		return nil, err
+		return nil, err // drop w: state unknown after a failed Close
 	}
 	out := make([]byte, buf.Len())
 	copy(out, buf.Bytes())
 	flateWriterPool.Put(w)
-	bufPool.Put(buf)
 	return out, nil
 }
 
-// inflate decompresses one block with a pooled reader.
+// inflate decompresses one block with a pooled reader. Error paths drop
+// the reader instead of recycling it: after a failed Reset, ReadAll, or
+// Close the decompressor's internal state is undefined, and returning it
+// to the pool would hand a broken reader to an unrelated future decode
+// (the bug this comment is the regression fence for — see
+// TestInflateTruncatedDoesNotPoisonPool).
 func inflate(comp []byte) ([]byte, error) {
 	r := flateReaderPool.Get().(io.ReadCloser)
 	if err := r.(flate.Resetter).Reset(bytes.NewReader(comp), nil); err != nil {
-		flateReaderPool.Put(r)
-		return nil, err
+		return nil, err // drop r
 	}
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		flateReaderPool.Put(r)
-		return nil, err
+		return nil, err // drop r
 	}
 	if err := r.Close(); err != nil {
-		flateReaderPool.Put(r)
-		return nil, err
+		return nil, err // drop r
 	}
 	flateReaderPool.Put(r)
 	return raw, nil
@@ -303,15 +320,41 @@ func (img *Image) marshalLocked() ([]byte, error) {
 			return nil, fmt.Errorf("cria: compressing image block %d: %w", i, slots[i].err)
 		}
 		out = binary.AppendUvarint(out, uint64(len(slots[i].comp)))
+		out = binary.LittleEndian.AppendUint32(out, blockChecksum(slots[i].comp))
 		out = append(out, slots[i].comp...)
 	}
 	return out, nil
 }
 
-// Unmarshal decodes an image produced by Marshal. Legacy single-stream
-// images (gob+flate, the seed format) are still accepted.
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// most CPUs) used for per-block container checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// blockChecksum is the integrity checksum of one compressed container
+// block, computed over the compressed bytes (so corruption is caught
+// before any DEFLATE state machine runs).
+func blockChecksum(comp []byte) uint32 {
+	return crc32.Checksum(comp, crcTable)
+}
+
+// ErrChecksum reports a container block whose CRC32 does not match its
+// bytes — the image was corrupted in transit. The migration retry path
+// matches on it to re-request the damaged chunk.
+var ErrChecksum = errors.New("cria: image block checksum mismatch")
+
+// Unmarshal decodes an image produced by Marshal, verifying every
+// container block's CRC32 before inflating (checksum mismatches return
+// an error wrapping ErrChecksum). Both legacy formats — FXC1 containers
+// without checksums and the seed's single gob+flate stream — are still
+// accepted.
 func Unmarshal(data []byte) (*Image, error) {
-	if len(data) < len(marshalMagic) || string(data[:len(marshalMagic)]) != marshalMagic {
+	var withCRC bool
+	switch {
+	case len(data) >= len(marshalMagic) && string(data[:len(marshalMagic)]) == marshalMagic:
+		withCRC = true
+	case len(data) >= len(marshalMagicV1) && string(data[:len(marshalMagicV1)]) == marshalMagicV1:
+		withCRC = false
+	default:
 		return unmarshalLegacy(data)
 	}
 	rest := data[len(marshalMagic):]
@@ -326,13 +369,30 @@ func Unmarshal(data []byte) (*Image, error) {
 	}
 	rest = rest[n:]
 
+	blockIdx := -1
 	nextBlock := func() ([]byte, error) {
+		blockIdx++
 		ln, n := binary.Uvarint(rest)
-		if n <= 0 || uint64(len(rest)-n) < ln {
+		if n <= 0 {
 			return nil, fmt.Errorf("cria: corrupt image block length")
 		}
-		block := rest[n : n+int(ln)]
-		rest = rest[n+int(ln):]
+		rest = rest[n:]
+		var want uint32
+		if withCRC {
+			if len(rest) < 4 {
+				return nil, fmt.Errorf("cria: truncated image block checksum")
+			}
+			want = binary.LittleEndian.Uint32(rest[:4])
+			rest = rest[4:]
+		}
+		if ln > uint64(len(rest)) {
+			return nil, fmt.Errorf("cria: corrupt image block length")
+		}
+		block := rest[:ln]
+		rest = rest[ln:]
+		if withCRC && blockChecksum(block) != want {
+			return nil, fmt.Errorf("%w (block %d)", ErrChecksum, blockIdx)
+		}
 		return inflate(block)
 	}
 

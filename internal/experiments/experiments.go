@@ -798,6 +798,9 @@ func RenderAllResults(w io.Writer, benchIters, playN, workers int) (*Results, er
 		{"ablation_pipeline", func() (map[string]float64, error) {
 			return nil, AblationPipeline(w, *apps.ByPackage("com.king.candycrushsaga"))
 		}},
+		{"ablation_faults", func() (map[string]float64, error) {
+			return nil, AblationFaults(w, *apps.ByPackage("com.king.candycrushsaga"), 1)
+		}},
 	}
 	for i, s := range sections {
 		if i > 0 {

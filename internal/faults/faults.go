@@ -1,0 +1,251 @@
+// Package faults is Flux's deterministic fault-injection subsystem.
+//
+// The paper's evaluation ran over a congested campus 802.11n network
+// (§4, Figure 13) where transfers stall and flap; BinderCracker-style
+// studies show Android's IPC surfaces fail in exactly these messy ways.
+// This package supplies the randomness: a seedable injector with one
+// configurable rule per injection *site* (link flap mid-stream, chunk
+// corruption, chunk loss, restore failure, replay-entry failure). The
+// migration pipeline asks the injector a yes/no question at each site
+// and reacts — retransmitting a chunk, backing off, or rolling back to
+// the home device.
+//
+// Design constraints, in order:
+//
+//   - Nil-safe no-op default. A nil *Injector answers "no fault" to
+//     every question at zero cost, so production paths carry no
+//     branches and zero-fault runs are bit-identical to a build without
+//     the subsystem.
+//   - Deterministic. Decisions are a pure function of (seed, plan,
+//     question order). The evaluation matrix derives one injector per
+//     cell (Derive), so parallel matrix runs reproduce the sequential
+//     ones exactly at any worker count.
+//   - Bounded. Every rule can cap its firings (Count), so "exactly one
+//     mid-stream link flap per migration" is expressible.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Site identifies one injection point in the migration pipeline.
+type Site string
+
+const (
+	// LinkFlap drops the wireless session mid-chunk: the chunk in
+	// flight is lost and the link pays a fresh setup negotiation.
+	LinkFlap Site = "link.flap"
+	// ChunkCorrupt flips bits in a chunk on the wire; the receiver's
+	// CRC32 check rejects it and re-requests that chunk only.
+	ChunkCorrupt Site = "chunk.corrupt"
+	// ChunkLoss silently drops a chunk; the receiver times out and
+	// re-requests it.
+	ChunkLoss Site = "chunk.loss"
+	// RestoreFail fails one CRIA restore attempt on the guest.
+	RestoreFail Site = "restore.fail"
+	// ReplayFail fails one adaptive-replay entry during reintegration.
+	ReplayFail Site = "replay.fail"
+)
+
+// Sites lists every injection site in stable order.
+func Sites() []Site {
+	return []Site{LinkFlap, ChunkCorrupt, ChunkLoss, RestoreFail, ReplayFail}
+}
+
+// ParseSite resolves a site name; ok is false for unknown names.
+func ParseSite(name string) (Site, bool) {
+	for _, s := range Sites() {
+		if string(s) == name {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// Rule configures one site's behaviour.
+type Rule struct {
+	// Probability is the chance, in [0,1], that one decision at the
+	// site injects a fault.
+	Probability float64
+	// Count caps how many faults the site may inject over the
+	// injector's lifetime; 0 means unlimited.
+	Count int
+}
+
+// Plan maps sites to rules. Sites absent from the plan never fire.
+type Plan map[Site]Rule
+
+// Clone returns a deep copy of the plan.
+func (p Plan) Clone() Plan {
+	if p == nil {
+		return nil
+	}
+	out := make(Plan, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the plan deterministically (sorted by site).
+func (p Plan) String() string {
+	keys := make([]string, 0, len(p))
+	for s := range p {
+		keys = append(keys, string(s))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		r := p[Site(k)]
+		fmt.Fprintf(&b, "%s:p=%g", k, r.Probability)
+		if r.Count > 0 {
+			fmt.Fprintf(&b, ",n=%d", r.Count)
+		}
+	}
+	return b.String()
+}
+
+// Injector is a deterministic, seedable fault source. The nil *Injector
+// is the no-op default: every method is nil-safe and Should always
+// answers false. All methods are safe for concurrent use; decisions are
+// serialized, so determinism additionally requires a deterministic
+// question order (one injector per migration provides it).
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules Plan
+	fired map[Site]int
+	asked map[Site]int
+}
+
+// New builds an injector answering questions from a deterministic
+// stream seeded by seed. An empty or nil plan yields an injector that
+// never fires (but still counts questions).
+func New(seed int64, plan Plan) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: plan.Clone(),
+		fired: make(map[Site]int),
+		asked: make(map[Site]int),
+	}
+}
+
+// Derive mixes a base seed with string parts (e.g. package, device
+// pair) into a per-cell seed, so every cell of a parallel evaluation
+// matrix gets an independent but reproducible decision stream.
+func Derive(seed int64, parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return seed ^ int64(h.Sum64())
+}
+
+// Enabled reports whether the injector can ever fire: non-nil and at
+// least one rule with positive probability and remaining budget.
+func (in *Injector) Enabled() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for s, r := range in.rules {
+		if r.Probability > 0 && (r.Count == 0 || in.fired[s] < r.Count) {
+			return true
+		}
+	}
+	return false
+}
+
+// Should answers one yes/no question at site: true means inject the
+// fault. Each call consumes exactly one random variate when the site
+// has a rule, keeping the decision stream aligned across runs. Nil-safe
+// (nil injector: always false).
+func (in *Injector) Should(site Site) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.asked[site]++
+	r, ok := in.rules[site]
+	if !ok || r.Probability <= 0 {
+		return false
+	}
+	hit := in.rng.Float64() < r.Probability
+	if !hit {
+		return false
+	}
+	if r.Count > 0 && in.fired[site] >= r.Count {
+		return false // budget exhausted; variate still consumed
+	}
+	in.fired[site]++
+	return true
+}
+
+// Fired reports how many faults the site has injected.
+func (in *Injector) Fired(site Site) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[site]
+}
+
+// Asked reports how many decisions the site has been consulted for.
+func (in *Injector) Asked(site Site) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.asked[site]
+}
+
+// Stats returns a copy of the fired counts keyed by site name, for
+// folding into migration reports. Nil for a nil injector or when
+// nothing fired.
+func (in *Injector) Stats() map[string]int {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.fired) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(in.fired))
+	for s, n := range in.fired {
+		if n > 0 {
+			out[string(s)] = n
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// TotalFired sums injected faults across all sites.
+func (in *Injector) TotalFired() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n int
+	for _, c := range in.fired {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNilInjectorIsNoOp: the nil default answers no, counts nothing,
+// and never panics — production paths rely on it.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector reports Enabled")
+	}
+	for _, s := range Sites() {
+		if in.Should(s) {
+			t.Errorf("nil injector fired at %s", s)
+		}
+	}
+	if in.Fired(LinkFlap) != 0 || in.Asked(LinkFlap) != 0 || in.TotalFired() != 0 {
+		t.Error("nil injector has non-zero counters")
+	}
+	if in.Stats() != nil {
+		t.Error("nil injector has stats")
+	}
+}
+
+// TestDeterministicStream: the same (seed, plan, question order)
+// reproduces the exact same decisions.
+func TestDeterministicStream(t *testing.T) {
+	plan := Plan{ChunkCorrupt: {Probability: 0.3}, LinkFlap: {Probability: 0.1, Count: 1}}
+	run := func() []bool {
+		in := New(42, plan)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, in.Should(ChunkCorrupt), in.Should(LinkFlap))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged across identical runs", i)
+		}
+	}
+	// And a different seed must (overwhelmingly) diverge somewhere.
+	in := New(43, plan)
+	same := true
+	for i := 0; i < 200; i++ {
+		if a[2*i] != in.Should(ChunkCorrupt) {
+			same = false
+		}
+		in.Should(LinkFlap)
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 200-decision streams")
+	}
+}
+
+// TestCountCapsFirings: a Count-limited rule fires at most Count times
+// even when probability is 1.
+func TestCountCapsFirings(t *testing.T) {
+	in := New(7, Plan{LinkFlap: {Probability: 1, Count: 1}})
+	var fired int
+	for i := 0; i < 50; i++ {
+		if in.Should(LinkFlap) {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Errorf("Count=1 rule fired %d times", fired)
+	}
+	if in.Fired(LinkFlap) != 1 || in.Asked(LinkFlap) != 50 {
+		t.Errorf("fired=%d asked=%d", in.Fired(LinkFlap), in.Asked(LinkFlap))
+	}
+	if in.Enabled() {
+		t.Error("exhausted injector still reports Enabled")
+	}
+}
+
+// TestProbabilityRoughlyHonored: firing frequency tracks the rule's
+// probability on a long stream.
+func TestProbabilityRoughlyHonored(t *testing.T) {
+	in := New(1, Plan{ChunkCorrupt: {Probability: 0.25}})
+	const n = 10_000
+	var fired int
+	for i := 0; i < n; i++ {
+		if in.Should(ChunkCorrupt) {
+			fired++
+		}
+	}
+	frac := float64(fired) / n
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("p=0.25 rule fired at rate %.3f", frac)
+	}
+}
+
+// TestUnplannedSiteNeverFires and consumes no randomness (planned
+// sites' decisions are unaffected by interleaved unplanned questions).
+func TestUnplannedSiteNeverFires(t *testing.T) {
+	plan := Plan{ChunkCorrupt: {Probability: 0.5}}
+	a := New(9, plan)
+	b := New(9, plan)
+	for i := 0; i < 100; i++ {
+		if b.Should(RestoreFail) {
+			t.Fatal("unplanned site fired")
+		}
+		if a.Should(ChunkCorrupt) != b.Should(ChunkCorrupt) {
+			t.Fatal("unplanned questions perturbed the decision stream")
+		}
+	}
+}
+
+// TestDeriveStableAndDistinct: per-cell seeds are reproducible and
+// separate cells get separate streams.
+func TestDeriveStableAndDistinct(t *testing.T) {
+	if Derive(5, "app", "pair") != Derive(5, "app", "pair") {
+		t.Error("Derive not deterministic")
+	}
+	if Derive(5, "app", "pair") == Derive(5, "app2", "pair") {
+		t.Error("Derive ignores parts")
+	}
+	if Derive(5, "ab", "c") == Derive(5, "a", "bc") {
+		t.Error("Derive ignores part boundaries")
+	}
+}
+
+// TestStatsAndParse round-trip site names.
+func TestStatsAndParse(t *testing.T) {
+	in := New(3, Plan{RestoreFail: {Probability: 1, Count: 2}})
+	in.Should(RestoreFail)
+	in.Should(RestoreFail)
+	in.Should(RestoreFail)
+	st := in.Stats()
+	if st["restore.fail"] != 2 {
+		t.Errorf("stats = %v", st)
+	}
+	if in.TotalFired() != 2 {
+		t.Errorf("TotalFired = %d", in.TotalFired())
+	}
+	for _, s := range Sites() {
+		got, ok := ParseSite(string(s))
+		if !ok || got != s {
+			t.Errorf("ParseSite(%q) = %q, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseSite("nope"); ok {
+		t.Error("ParseSite accepted an unknown site")
+	}
+}
+
+// TestPlanString is deterministic regardless of map iteration order.
+func TestPlanString(t *testing.T) {
+	p := Plan{LinkFlap: {Probability: 1, Count: 1}, ChunkCorrupt: {Probability: 0.05}}
+	want := "chunk.corrupt:p=0.05 link.flap:p=1,n=1"
+	for i := 0; i < 10; i++ {
+		if got := p.String(); got != want {
+			t.Fatalf("Plan.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestConcurrentUseIsSafe: parallel questions race-free (run under
+// -race); totals add up.
+func TestConcurrentUseIsSafe(t *testing.T) {
+	in := New(11, Plan{ChunkCorrupt: {Probability: 1}})
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				in.Should(ChunkCorrupt)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Fired(ChunkCorrupt); got != workers*per {
+		t.Errorf("fired %d, want %d", got, workers*per)
+	}
+}

@@ -13,6 +13,7 @@
 package migration
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"flux/internal/android"
 	"flux/internal/cria"
 	"flux/internal/device"
+	"flux/internal/faults"
 	"flux/internal/gpu"
 	"flux/internal/obs"
 	"flux/internal/pairing"
@@ -108,6 +110,20 @@ type Report struct {
 	// same inputs (Pipelined runs only; no post-copy deferral in the
 	// counterfactual).
 	PipelineSavings time.Duration
+	// Outcome is the migration's terminal state: OutcomeOK,
+	// OutcomeRolledBack, or "" when the run was refused before the
+	// pipeline started (precondition errors).
+	Outcome string
+	// Retries counts fault-recovery attempts across all stages (zero
+	// without fault injection).
+	Retries int
+	// RetransmitBytes is the payload reshipped by chunk-level recovery;
+	// strictly less than the full wire size whenever recovery resumed
+	// rather than restarted.
+	RetransmitBytes int64
+	// FaultEvents maps injection-site names to fired counts (nil when
+	// nothing fired).
+	FaultEvents map[string]int
 	// ReplayStats summarizes adaptive replay.
 	ReplayStats replay.Stats
 	// StateBefore/StateAfter are the aggregate service states on home (at
@@ -178,6 +194,14 @@ type Options struct {
 	// DefaultPipelineChunkBytes and values below MinPipelineChunkBytes are
 	// clamped up.
 	PipelineChunkBytes int64
+	// Faults injects deterministic faults into the pipeline (see
+	// internal/faults). Nil — the default — disables injection entirely:
+	// no recovery branches run and the migration is bit-identical to a
+	// build without the subsystem.
+	Faults *faults.Injector
+	// Retry bounds fault recovery; the zero value means
+	// DefaultRetryPolicy. Ignored without Faults.
+	Retry RetryPolicy
 	// Engine overrides the replay engine (tests inject failing proxies).
 	Engine *replay.Engine
 	// Span optionally parents the migration's telemetry span tree (the
@@ -276,6 +300,9 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	link := device.Link(m.Home, m.Guest)
 	homeCPU := m.Home.Profile().CPUFactor
 	guestCPU := m.Guest.Profile().CPUFactor
+	// Fault recovery state; nil (the overwhelmingly common case) means
+	// every recovery branch below is skipped entirely.
+	fr := m.faultRun(rep, link)
 
 	span := obs.ChildOf(m.Opts.Span, SpanMigrate,
 		obs.String("pkg", pkg),
@@ -437,6 +464,25 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	} else {
 		transferDur = link.TransferTime(wire)
 	}
+	var transferFault error
+	if fr != nil {
+		// Resumable recovery over the same chunk partition the stream
+		// ships (sequential runs retransmit at the configured chunk
+		// size): landed-and-verified chunks never reship, only faulted
+		// chunks pay airtime again.
+		var wires []int64
+		if plan != nil {
+			wires = make([]int64, len(plan.Lanes))
+			for i := range plan.Lanes {
+				wires[i] = plan.Lanes[i].Wire
+			}
+		} else {
+			wires = chunkWires(wire, m.chunkBytes())
+		}
+		var overhead time.Duration
+		overhead, transferFault = fr.transferRecovery(sp, wires)
+		transferDur += overhead
+	}
 	m.advanceBoth(transferDur)
 	rep.Timings[StageTransfer] = transferDur
 	sp.Attr(
@@ -444,13 +490,28 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 		obs.Int64("apk_delta_bytes", apkDelta),
 		obs.Int64("data_delta_bytes", rep.DataDeltaBytes),
 		obs.Int64("postcopy_residual_bytes", residual),
+		obs.Int64("retransmit_bytes", rep.RetransmitBytes),
 	).End()
+	if transferFault != nil {
+		return m.rollback(rep, app, nil, transferFault)
+	}
 
 	// Exercise the real serialization path: the guest decodes the image
 	// it received.
 	imgBytes, err := img.Marshal()
 	if err != nil {
 		return nil, err
+	}
+	if fr != nil && fr.inj.Fired(faults.ChunkCorrupt) > 0 {
+		// A chunk-corruption fault fired during transfer: prove the real
+		// container integrity layer would have caught it by flipping a
+		// byte of the actual wire bytes and requiring Unmarshal to
+		// reject the mutant before decoding the pristine copy.
+		mut := bytes.Clone(imgBytes)
+		mut[len(mut)/2] ^= 0x20
+		if _, cerr := cria.Unmarshal(mut); cerr == nil {
+			return nil, errors.New("migration: corrupted image decoded cleanly; container CRC layer is broken")
+		}
 	}
 	img, err = cria.Unmarshal(imgBytes)
 	if err != nil {
@@ -459,6 +520,20 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 
 	// ---- Stage 4: Restore -----------------------------------------------
 	sp = span.Child(StageRestore.SpanName())
+	var restoreOverhead time.Duration
+	if fr != nil {
+		// Failed restore attempts waste the wrapper standup (rstrFixed)
+		// plus backoff before the retry; exhaustion rolls back before
+		// anything was stood up on the guest.
+		var ferr error
+		restoreOverhead, ferr = fr.stageRecovery(sp, StageRestore, faults.RestoreFail, rstrFixed)
+		if ferr != nil {
+			m.advanceBoth(restoreOverhead)
+			rep.Timings[StageRestore] = restoreOverhead
+			sp.End()
+			return m.rollback(rep, app, nil, ferr)
+		}
+	}
 	restored, err := cria.Restore(img, cria.RestoreOptions{Runtime: m.Guest.Runtime, Span: sp})
 	if err != nil {
 		sp.End()
@@ -470,6 +545,7 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	} else {
 		restoreDur = cpuTime(rstrFixed, rep.ImageBytes, rstrRate, guestCPU)
 	}
+	restoreDur += restoreOverhead
 	m.advanceBoth(restoreDur)
 	rep.Timings[StageRestore] = restoreDur
 	sp.Attr(
@@ -479,6 +555,20 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 
 	// ---- Stage 5: Reintegration -----------------------------------------
 	sp = span.Child(StageReintegration.SpanName())
+	var reintOverhead time.Duration
+	if fr != nil {
+		// Failed replay entries cost one entry's replay time plus
+		// backoff; exhaustion discards the restored guest instance and
+		// rolls back to the (still running) home app.
+		var ferr error
+		reintOverhead, ferr = fr.stageRecovery(sp, StageReintegration, faults.ReplayFail, replayPerEntry)
+		if ferr != nil {
+			m.advanceBoth(reintOverhead)
+			rep.Timings[StageReintegration] = reintOverhead
+			sp.End()
+			return m.rollback(rep, app, restored.App, ferr)
+		}
+	}
 	ctx := &replay.Context{
 		Pkg:             pkg,
 		AppProc:         restored.App.Process().Binder(),
@@ -542,6 +632,7 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 			}
 		}
 	}
+	reintDur += reintOverhead
 	m.advanceBoth(reintDur)
 	rep.Timings[StageReintegration] = reintDur
 	rep.App = restored.App
@@ -562,6 +653,10 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	}
 	if gi := m.Guest.Installed(pkg); gi != nil {
 		gi.MigratedTo = ""
+	}
+	rep.Outcome = OutcomeOK
+	if fr != nil {
+		rep.FaultEvents = fr.inj.Stats()
 	}
 
 	return rep, nil

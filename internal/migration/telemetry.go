@@ -20,9 +20,29 @@ const (
 	MetricBytes = "flux_migration_bytes_total"
 )
 
+// Fault-recovery telemetry (populated only when Options.Faults injects).
+const (
+	// MetricFaultInjections counts injected faults by site.
+	MetricFaultInjections = "flux_migration_fault_injections_total"
+	// MetricFaultRollbacks counts migrations that exhausted recovery and
+	// rolled back to the home device.
+	MetricFaultRollbacks = "flux_migration_fault_rollbacks_total"
+	// MetricRetryAttempts counts recovery retries by stage.
+	MetricRetryAttempts = "flux_migration_retry_attempts_total"
+	// MetricRetryBackoffSeconds is the per-retry backoff histogram on
+	// the virtual clock.
+	MetricRetryBackoffSeconds = "flux_migration_retry_backoff_seconds"
+	// MetricRetryRetransmitBytes counts chunk bytes reshipped by
+	// transfer recovery.
+	MetricRetryRetransmitBytes = "flux_migration_retry_retransmit_bytes_total"
+)
+
 // Span names of the migration tree, shared with fluxstat's breakdown.
 const (
 	SpanMigrate = "migrate"
+	// SpanFaultRetry is the instant span emitted under a stage span for
+	// every fault-recovery retry.
+	SpanFaultRetry = "fault.retry"
 )
 
 // SpanName returns the stage's span name in the migration trace tree.
@@ -67,6 +87,11 @@ func init() {
 	m.Describe(MetricMigrations, "Migrations attempted, by result.")
 	m.Describe(MetricStageSeconds, "Per-stage migration duration on the virtual clock, in seconds.")
 	m.Describe(MetricBytes, "Bytes moved or produced by migrations, by kind.")
+	m.Describe(MetricFaultInjections, "Injected migration faults, by site.")
+	m.Describe(MetricFaultRollbacks, "Migrations rolled back to the home device after exhausting recovery.")
+	m.Describe(MetricRetryAttempts, "Fault-recovery retries, by stage.")
+	m.Describe(MetricRetryBackoffSeconds, "Per-retry backoff on the virtual clock, in seconds.")
+	m.Describe(MetricRetryRetransmitBytes, "Chunk bytes reshipped by transfer fault recovery.")
 }
 
 // recordOutcome accounts one finished Migrate run.
@@ -76,7 +101,11 @@ func recordOutcome(rep *Report, err error) {
 	}
 	m := obs.M()
 	if err != nil {
-		m.Counter(MetricMigrations, "result", "error").Inc()
+		result := "error"
+		if rep != nil && rep.Outcome == OutcomeRolledBack {
+			result = OutcomeRolledBack
+		}
+		m.Counter(MetricMigrations, "result", result).Inc()
 		return
 	}
 	m.Counter(MetricMigrations, "result", "ok").Inc()

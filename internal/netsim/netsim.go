@@ -65,12 +65,18 @@ type Link struct {
 // Bandwidth returns the link's end-to-end goodput: the slower radio bounds
 // it, and relaying through the AP costs airtime on both hops when the
 // radios share a band (both 802.11n on one AP), modelled as a 15% tax.
+// Cross-band links (one radio on 2.4 GHz, the other on 5 GHz) relay over
+// independent airtime, so the slower radio's rate passes through untaxed.
 func (l Link) Bandwidth() int64 {
 	bw := l.A.EffectiveBps
 	if l.B.EffectiveBps < bw {
 		bw = l.B.EffectiveBps
 	}
-	return bw * 85 / 100
+	if l.A.Name == l.B.Name {
+		// Same band: both AP hops contend for the same airtime.
+		bw = bw * 85 / 100
+	}
+	return bw
 }
 
 // Latency returns per-transfer setup cost: both sides negotiate.
@@ -108,6 +114,21 @@ func (l Link) transferTime(n int64) time.Duration {
 // payloadTime is the pure airtime of n bytes at bw bytes/sec.
 func payloadTime(n, bw int64) time.Duration {
 	return time.Duration(float64(n) / float64(bw) * float64(time.Second))
+}
+
+// AirTime is the pure on-air duration of n bytes on the link — no setup
+// latency, no per-chunk framing, no telemetry. The migration fault model
+// uses it to price individual chunk retransmissions. Non-positive sizes
+// (and zero-bandwidth links) cost nothing.
+func (l Link) AirTime(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	bw := l.Bandwidth()
+	if bw <= 0 {
+		return 0
+	}
+	return payloadTime(n, bw)
 }
 
 // ModelTime is TransferTime without the telemetry side effects: the
@@ -165,19 +186,25 @@ func (l Link) ChunkTimes(chunks []int64) []time.Duration {
 // StreamTime returns how long shipping the chunk stream takes on the
 // link, assuming the sender always has the next chunk ready (pipeline
 // stalls are the scheduler's concern, not the link's). Equals
-// TransferTime of the summed payload plus per-chunk overhead; an empty
-// stream costs the setup latency.
+// TransferTime of the summed payload plus per-chunk overhead.
+//
+// Empty-stream semantics are explicit and match TransferTime(0): opening
+// a stream negotiates a session even when nothing is sent, so an empty
+// stream costs exactly the setup latency and accounts exactly one
+// transfer with zero payload bytes and zero chunks —
+// StreamTime(nil) == TransferTime(0) == Latency(), with identical
+// MetricTransfers / MetricTransferBytes deltas (tested).
 func (l Link) StreamTime(chunks []int64) time.Duration {
-	var d time.Duration
+	d := l.Latency() // the degenerate empty stream: session setup only
 	var total int64
-	for i, t := range l.ChunkTimes(chunks) {
-		d += t
-		if c := chunks[i]; c > 0 {
-			total += c
+	if len(chunks) > 0 {
+		d = 0
+		for i, t := range l.ChunkTimes(chunks) {
+			d += t
+			if c := chunks[i]; c > 0 {
+				total += c
+			}
 		}
-	}
-	if len(chunks) == 0 {
-		d = l.Latency()
 	}
 	if obs.Enabled() {
 		m := obs.M()

@@ -4,12 +4,58 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"flux/internal/obs"
 )
 
 func TestLinkBandwidthBoundedBySlowerRadio(t *testing.T) {
 	l := Link{A: Radio80211n5G, B: Radio80211n24G}
-	if got := l.Bandwidth(); got >= Radio80211n24G.EffectiveBps {
-		t.Errorf("link bandwidth %d not below slower radio %d", got, Radio80211n24G.EffectiveBps)
+	if got := l.Bandwidth(); got > Radio80211n24G.EffectiveBps {
+		t.Errorf("link bandwidth %d exceeds slower radio %d", got, Radio80211n24G.EffectiveBps)
+	}
+}
+
+// TestBandwidthSharedBandTax pins the documented semantics: the 15% AP
+// relay tax applies only when both radios sit on the same band; a
+// cross-band link passes the slower radio's rate through untaxed.
+func TestBandwidthSharedBandTax(t *testing.T) {
+	sameBand := Link{A: Radio80211n24G, B: Radio80211n24G}
+	if got, want := sameBand.Bandwidth(), Radio80211n24G.EffectiveBps*85/100; got != want {
+		t.Errorf("same-band bandwidth = %d, want taxed %d", got, want)
+	}
+	same5 := Link{A: Radio80211n5G, B: Radio80211n5G}
+	if got, want := same5.Bandwidth(), Radio80211n5G.EffectiveBps*85/100; got != want {
+		t.Errorf("same-band 5GHz bandwidth = %d, want taxed %d", got, want)
+	}
+	crossBand := Link{A: Radio80211n5G, B: Radio80211n24G}
+	if got, want := crossBand.Bandwidth(), Radio80211n24G.EffectiveBps; got != want {
+		t.Errorf("cross-band bandwidth = %d, want untaxed slower radio %d", got, want)
+	}
+	// Direction must not matter.
+	if crossBand.Bandwidth() != (Link{A: Radio80211n24G, B: Radio80211n5G}).Bandwidth() {
+		t.Error("cross-band bandwidth depends on radio order")
+	}
+	// The cross-band link is strictly faster than the congested
+	// same-band link built from its slower radio.
+	if crossBand.Bandwidth() <= sameBand.Bandwidth() {
+		t.Error("cross-band link not faster than the taxed same-band link")
+	}
+}
+
+// TestAirTime: pure airtime excludes setup latency and framing, and
+// degenerate sizes cost nothing.
+func TestAirTime(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n5G}
+	n := int64(1 << 20)
+	if got, want := l.AirTime(n), l.ModelTime(n)-l.Latency(); got != want {
+		t.Errorf("AirTime(%d) = %v, want ModelTime-Latency %v", n, got, want)
+	}
+	if l.AirTime(0) != 0 || l.AirTime(-7) != 0 {
+		t.Error("degenerate AirTime not zero")
+	}
+	zero := Link{A: Radio{Name: "x"}, B: Radio{Name: "x"}}
+	if zero.AirTime(100) != 0 {
+		t.Error("zero-bandwidth AirTime not zero")
 	}
 }
 
@@ -137,6 +183,9 @@ func TestStreamTimeEmpty(t *testing.T) {
 	if got := l.StreamTime(nil); got != l.Latency() {
 		t.Errorf("empty stream = %v, want latency %v", got, l.Latency())
 	}
+	if got, want := l.StreamTime(nil), l.TransferTime(0); got != want {
+		t.Errorf("StreamTime(nil) = %v inconsistent with TransferTime(0) = %v", got, want)
+	}
 	chunks := []int64{4096, 0, 100_000}
 	var want time.Duration
 	for _, d := range l.ChunkTimes(chunks) {
@@ -144,6 +193,42 @@ func TestStreamTimeEmpty(t *testing.T) {
 	}
 	if got := l.StreamTime(chunks); got != want {
 		t.Errorf("StreamTime %v != Σ ChunkTimes %v", got, want)
+	}
+}
+
+// TestStreamTimeEmptyMetrics pins the explicit empty-stream accounting:
+// one transfer, zero payload bytes, zero chunks — exactly the deltas
+// TransferTime(0) produces (plus the stream-chunk counter it does not
+// touch staying at zero).
+func TestStreamTimeEmptyMetrics(t *testing.T) {
+	obs.SetEnabled(true)
+	defer func() {
+		obs.SetEnabled(false)
+		obs.Reset()
+	}()
+	obs.Reset()
+	l := Link{A: Radio80211n5G, B: Radio80211n5G}
+	label := l.A.Name + "<->" + l.B.Name
+	m := obs.M()
+
+	l.StreamTime(nil)
+	streamXfers := m.Counter(MetricTransfers, "link", label).Value()
+	streamBytes := m.Counter(MetricTransferBytes, "link", label).Value()
+	streamChunks := m.Counter(MetricStreamChunks, "link", label).Value()
+
+	obs.Reset()
+	l.TransferTime(0)
+	classicXfers := m.Counter(MetricTransfers, "link", label).Value()
+	classicBytes := m.Counter(MetricTransferBytes, "link", label).Value()
+
+	if streamXfers != classicXfers || streamXfers != 1 {
+		t.Errorf("empty stream accounted %d transfers, TransferTime(0) %d, want 1", streamXfers, classicXfers)
+	}
+	if streamBytes != classicBytes || streamBytes != 0 {
+		t.Errorf("empty stream accounted %d bytes, TransferTime(0) %d, want 0", streamBytes, classicBytes)
+	}
+	if streamChunks != 0 {
+		t.Errorf("empty stream accounted %d chunks, want 0", streamChunks)
 	}
 }
 

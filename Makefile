@@ -1,7 +1,9 @@
 # Flux build and verification entry points.
 #
-#   make verify      vet + build + full test suite (tier-1 gate; vet
-#                    findings fail the build)
+#   make verify      vet + fluxvet + build + full test suite (tier-1 gate;
+#                    vet and fluxvet findings fail the build)
+#   make lint        fluxvet alone: decorator-spec analysis (layer 1) plus
+#                    the repo source invariants (layer 3)
 #   make race        -race pass over the concurrency-sensitive packages
 #   make bench       hot-path microbenchmarks + matrix scaling benchmarks
 #   make bench-pipeline  parallel-marshal / chunking / streamed-link /
@@ -14,14 +16,21 @@
 
 GO ?= go
 
-.PHONY: all verify vet build test race bench bench-pipeline bench-faults results trace-demo clean
+.PHONY: all verify vet lint build test race bench bench-pipeline bench-faults results trace-demo clean
 
 all: verify
 
-verify: vet build test
+verify: vet lint build test
 
 vet:
 	$(GO) vet ./...
+
+# Replay-safety static analysis (DESIGN.md §5f): decorator-spec checks
+# over the shipped AIDL catalog and the wallclock/maprange source
+# invariants. `fluxvet -logs run.flxl -image app.cria` lints a persisted
+# record log offline; see cmd/fluxvet.
+lint:
+	$(GO) run ./cmd/fluxvet -layers spec,src
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,149 @@
+// Command fluxvet is the Flux replay-safety static analyzer. It runs up to
+// three layers of checks (DESIGN.md §5f):
+//
+//	spec  — decorator-spec analysis over the compiled AIDL interfaces the
+//	        services package ships: dead @drop targets, drop cycles that
+//	        are not pair annihilations, lossy @if guard types, oneway
+//	        methods routed through reply-dependent @replayproxy proxies,
+//	        and state-mutating methods that carry no @record. Intentional
+//	        deviations are waived by vet.DefaultSpecWaivers, and a waiver
+//	        that stops matching surfaces as a stale-waiver finding.
+//	logs  — linting of a persisted Selective Record log (-logs) against
+//	        the same specs: prune/spec drift, unknown methods, sequence
+//	        disorder, and (with -image) Binder handles absent from the
+//	        CRIA image's handle table.
+//	src   — Go source passes over the repo (-src): wall-clock calls in
+//	        virtual-clock packages and map-iteration nondeterminism in
+//	        deterministic output paths. //fluxvet:allow comments suppress
+//	        intentional sites with a reason.
+//
+// Usage:
+//
+//	fluxvet                               # layers spec,src over the repo
+//	fluxvet -layers spec                  # specs only (no source tree needed)
+//	fluxvet -logs run.flxl                # + lint a persisted record log
+//	fluxvet -logs run.flxl -image app.cria  # + replay-hazard handle checks
+//	fluxvet -src /path/to/repo            # explicit repo root for src layer
+//
+// Exit status is 1 when any finding is reported, 2 on operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flux/internal/binder"
+	"flux/internal/cria"
+	"flux/internal/record"
+	"flux/internal/replay"
+	"flux/internal/services"
+	"flux/internal/vet"
+)
+
+func main() {
+	var (
+		layersFlag = flag.String("layers", "spec,src", "comma-separated layers to run: spec, logs, src")
+		logsPath   = flag.String("logs", "", "persisted record log (.flxl) to lint; implies the logs layer")
+		imagePath  = flag.String("image", "", "CRIA image whose handle table gates replay-hazard checks (requires -logs)")
+		srcRoot    = flag.String("src", ".", "repository root for the src layer")
+		fullRecord = flag.Bool("fullrecord", false, "log was produced by the full-record ablation: skip unrecorded-entry checks")
+	)
+	flag.Parse()
+
+	layers := map[string]bool{}
+	for _, l := range strings.Split(*layersFlag, ",") {
+		l = strings.TrimSpace(l)
+		if l == "" {
+			continue
+		}
+		switch l {
+		case "spec", "logs", "src":
+			layers[l] = true
+		default:
+			fmt.Fprintf(os.Stderr, "fluxvet: unknown layer %q (spec, logs, src)\n", l)
+			os.Exit(2)
+		}
+	}
+	if *logsPath != "" {
+		layers["logs"] = true
+	}
+
+	var findings []vet.Finding
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "fluxvet:", err)
+		os.Exit(2)
+	}
+
+	if layers["spec"] {
+		findings = append(findings, runSpec()...)
+	}
+	if layers["logs"] {
+		if *logsPath == "" {
+			fail(fmt.Errorf("the logs layer needs -logs <file.flxl>"))
+		}
+		fs, err := runLogs(*logsPath, *imagePath, *fullRecord)
+		if err != nil {
+			fail(err)
+		}
+		findings = append(findings, fs...)
+	}
+	if layers["src"] {
+		fs, err := vet.RunSource(vet.DefaultSourceConfig(*srcRoot))
+		if err != nil {
+			fail(err)
+		}
+		findings = append(findings, fs...)
+	}
+
+	vet.Sort(findings)
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fluxvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// runSpec analyzes the shipped decorator specs with the shipped waiver
+// policy, resolving @replayproxy paths against the live replay engine's
+// registry.
+func runSpec() []vet.Finding {
+	eng := replay.NewEngine()
+	cfg := vet.SpecConfig{Proxies: func(path string) vet.ProxyInfo {
+		registered, needsReply := eng.ProxyInfo(path)
+		return vet.ProxyInfo{Registered: registered, NeedsReply: needsReply}
+	}}
+	var specs []vet.SpecSource
+	for _, s := range services.AIDLSpecs() {
+		specs = append(specs, vet.SpecSource{Service: s.Service, Itf: s.Itf})
+	}
+	return vet.Apply(vet.AnalyzeSpecs(specs, cfg), vet.DefaultSpecWaivers())
+}
+
+// runLogs lints a persisted record log, optionally against a CRIA image's
+// handle table.
+func runLogs(logsPath, imagePath string, fullRecord bool) ([]vet.Finding, error) {
+	log, err := record.LoadFile(logsPath)
+	if err != nil {
+		return nil, fmt.Errorf("loading record log: %w", err)
+	}
+	opts := vet.LogLintOptions{FullRecord: fullRecord}
+	if imagePath != "" {
+		data, err := os.ReadFile(imagePath)
+		if err != nil {
+			return nil, fmt.Errorf("loading CRIA image: %w", err)
+		}
+		img, err := cria.Unmarshal(data)
+		if err != nil {
+			return nil, fmt.Errorf("parsing CRIA image: %w", err)
+		}
+		opts.Handles = make(map[binder.Handle]bool, len(img.Handles))
+		for _, h := range img.Handles {
+			opts.Handles[h.Handle] = true
+		}
+	}
+	return vet.LintLog(log, services.InterfacesByDescriptor(), opts), nil
+}

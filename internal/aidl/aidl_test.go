@@ -2,6 +2,7 @@ package aidl
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"flux/internal/binder"
@@ -360,5 +361,74 @@ func TestTypeStrings(t *testing.T) {
 	}
 	if typeOf("Notification") != TypeParcelable {
 		t.Error("unknown class did not map to TypeParcelable")
+	}
+}
+
+// TestParseErrorContext asserts every parse error carries enough context
+// to locate the fault inside a large service definition: the interface
+// name, the method (by name once known, by ordinal before the name is
+// read), and a line:column position.
+func TestParseErrorContext(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			"dup method names both",
+			"interface IAudio {\n\tvoid mute();\n\tvoid mute();\n}",
+			[]string{"IAudio", "mute", "3:"},
+		},
+		{
+			"dup param names method",
+			"interface IAudio {\n\tvoid setVolume(int level, int level);\n}",
+			[]string{"IAudio", "setVolume", "level"},
+		},
+		{
+			"drop target names method",
+			"interface IWifi {\n\t@record { @drop nosuch; }\n\tvoid connect();\n}",
+			[]string{"IWifi", "connect", "nosuch"},
+		},
+		{
+			"if arg names method",
+			"interface IWifi {\n\t@record { @drop this; @if nope; }\n\tvoid connect(int netId);\n}",
+			[]string{"IWifi", "connect", "nope"},
+		},
+		{
+			"elif before if names method",
+			"interface IWifi {\n\t@record { @drop this; @elif netId; }\n\tvoid connect(int netId);\n}",
+			[]string{"IWifi", "connect", "@elif"},
+		},
+		{
+			"unterminated names interface",
+			"interface IPower {\n\tvoid wake();",
+			[]string{"IPower"},
+		},
+		{
+			"bad decoration before name uses ordinal",
+			"interface IPower {\n\t@frob x\n\tvoid wake();\n}",
+			[]string{"IPower", "method 1"},
+		},
+		{
+			"oneway non-void names method",
+			"interface IPower {\n\toneway int wake();\n}",
+			[]string{"IPower", "wake"},
+		},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%s: Parse accepted invalid source", tc.name)
+			continue
+		}
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "aidl: ") {
+			t.Errorf("%s: error %q lacks the aidl: prefix", tc.name, msg)
+		}
+		for _, frag := range tc.want {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("%s: error %q is missing context %q", tc.name, msg, frag)
+			}
+		}
 	}
 }

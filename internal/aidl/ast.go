@@ -2,6 +2,26 @@ package aidl
 
 import "fmt"
 
+// Pos is a 1-based line:column position in the AIDL source an element was
+// parsed from. Programmatically built ASTs carry the zero Pos, which
+// IsValid reports as false; semantic equality (EqualSemantics) ignores
+// positions entirely. fluxvet uses positions to point findings at the
+// exact decoration token.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position came from parsed source.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Interface is a parsed AIDL interface definition.
 type Interface struct {
 	Name    string
@@ -20,6 +40,8 @@ type Method struct {
 	// OneWay marks asynchronous methods (AIDL's oneway keyword): no reply
 	// parcel is produced and the caller does not block on completion.
 	OneWay bool
+	// Pos is the source position of the method name token.
+	Pos Pos
 }
 
 // Param is a method parameter. Parcelable parameters carry the `in`
@@ -28,6 +50,8 @@ type Param struct {
 	Name string
 	Type Type
 	In   bool
+	// Pos is the source position of the parameter name token.
+	Pos Pos
 }
 
 // Type is the small AIDL type system the framework services need.
@@ -114,6 +138,33 @@ type RecordSpec struct {
 	// ReplayProxy names the proxy method Adaptive Replay substitutes for
 	// this call, e.g. "flux.recordreplay.Proxies.alarmMgrSet".
 	ReplayProxy string
+
+	// Source positions, parallel to the semantic fields above. AtPos is
+	// the '@' of the @record keyword; DropPos[i] locates DropMethods[i];
+	// SigPos[i][j] locates Signatures[i][j]; ProxyPos locates the
+	// @replayproxy path. All are zero for programmatically built specs.
+	AtPos    Pos
+	DropPos  []Pos
+	SigPos   [][]Pos
+	ProxyPos Pos
+}
+
+// DropMethodPos returns the source position of DropMethods[i], or the
+// @record position when per-target positions are unavailable.
+func (r *RecordSpec) DropMethodPos(i int) Pos {
+	if i < len(r.DropPos) {
+		return r.DropPos[i]
+	}
+	return r.AtPos
+}
+
+// SignatureArgPos returns the source position of Signatures[i][j], falling
+// back to the @record position.
+func (r *RecordSpec) SignatureArgPos(i, j int) Pos {
+	if i < len(r.SigPos) && j < len(r.SigPos[i]) {
+		return r.SigPos[i][j]
+	}
+	return r.AtPos
 }
 
 // Param returns the parameter with the given name and its index, or nil.

@@ -29,7 +29,13 @@ func Format(itf *Interface) string {
 			if j > 0 {
 				b.WriteString(", ")
 			}
-			if p.Type == TypeParcelable && p.In {
+			// Direction markers must survive the round trip: parameters
+			// default to `in`, so only out params need the explicit marker
+			// (dropping it would silently flip In back to true on reparse —
+			// caught by FuzzParse's fixed-point property).
+			if !p.In {
+				b.WriteString("out ")
+			} else if p.Type == TypeParcelable {
 				b.WriteString("in ")
 			}
 			fmt.Fprintf(&b, "%s %s", formatType(p.Type), p.Name)
@@ -87,7 +93,9 @@ func EqualSemantics(a, b *Interface) bool {
 			return false
 		}
 		for j := range ma.Params {
-			if ma.Params[j] != mb.Params[j] {
+			pa, pb := ma.Params[j], mb.Params[j]
+			// Positions are presentation metadata, not semantics.
+			if pa.Name != pb.Name || pa.Type != pb.Type || pa.In != pb.In {
 				return false
 			}
 		}

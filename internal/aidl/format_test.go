@@ -3,6 +3,7 @@ package aidl
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -147,5 +148,83 @@ func TestEqualSemanticsDetectsDifferences(t *testing.T) {
 		if EqualSemantics(a, b) {
 			t.Errorf("EqualSemantics missed difference vs %s", src)
 		}
+	}
+}
+
+// TestFormatRoundTripDecorationBlock exercises the full Table 1 decoration
+// grammar through Format/Parse: multi-target @drop, an @if/@elif signature
+// chain, a line-continued @replayproxy, and a bare @record — asserting the
+// semantic fields survive the trip field-by-field, not just via
+// EqualSemantics.
+func TestFormatRoundTripDecorationBlock(t *testing.T) {
+	src := `
+interface IEverything {
+    @record
+    void plain(int id, long when, String tag);
+
+    @record {
+        @drop this, plain;
+        @if id, when;
+        @elif tag;
+        @replayproxy \
+            flux.recordreplay.Proxies.everythingSet;
+    }
+    void set(int id, long when, String tag, in PendingIntent op);
+}
+`
+	orig := MustParse(src)
+	formatted := Format(orig)
+	back, err := Parse(formatted)
+	if err != nil {
+		t.Fatalf("reparsing formatted source: %v\n%s", err, formatted)
+	}
+	if !EqualSemantics(orig, back) {
+		t.Fatalf("semantics changed through Format/Parse:\n%s", formatted)
+	}
+	m := back.Method("set")
+	if m == nil || m.Record == nil {
+		t.Fatal("set lost its @record block")
+	}
+	if got, want := m.Record.DropMethods, []string{"this", "plain"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("DropMethods = %v, want %v", got, want)
+	}
+	if got, want := m.Record.Signatures, [][]string{{"id", "when"}, {"tag"}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Signatures = %v, want %v", got, want)
+	}
+	if got, want := m.Record.ReplayProxy, "flux.recordreplay.Proxies.everythingSet"; got != want {
+		t.Errorf("ReplayProxy = %q, want %q", got, want)
+	}
+	if p := back.Method("plain"); p == nil || p.Record == nil || len(p.Record.DropMethods) != 0 {
+		t.Error("bare @record did not survive as a drop-free spec")
+	}
+	// The paper's line continuation parses to the same spec whether or
+	// not Format re-emits it on one line.
+	if again := Format(back); again != formatted {
+		t.Errorf("Format not idempotent over decoration blocks:\n%s\nvs\n%s", formatted, again)
+	}
+}
+
+// TestFormatOutParamDirection pins the out-direction regression: Format
+// used to omit the `out` marker, so an out param silently round-tripped
+// as an in param.
+func TestFormatOutParamDirection(t *testing.T) {
+	orig := MustParse(`interface I { void fill(in Bundle extras, out Bundle result, int plain); }`)
+	m := orig.Method("fill")
+	if m.Params[0].In != true || m.Params[1].In != false {
+		t.Fatalf("parse directions wrong: %+v", m.Params)
+	}
+	formatted := Format(orig)
+	if !strings.Contains(formatted, "out Parcelable result") {
+		t.Fatalf("Format dropped the out marker:\n%s", formatted)
+	}
+	back := MustParse(formatted)
+	bm := back.Method("fill")
+	for i := range m.Params {
+		if bm.Params[i].In != m.Params[i].In {
+			t.Errorf("param %s direction flipped through Format/Parse", m.Params[i].Name)
+		}
+	}
+	if !EqualSemantics(orig, back) {
+		t.Error("out param broke semantic round trip")
 	}
 }

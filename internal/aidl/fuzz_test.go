@@ -1,0 +1,100 @@
+package aidl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary input and, on any
+// input that parses, checks the printer/parser round-trip contract that
+// everything downstream (fluxvet, the services catalog, the evaluation
+// driver's LOC counts) relies on:
+//
+//  1. Parse never panics, whatever the input.
+//  2. If Parse accepts the input, Format of the result reparses.
+//  3. The reparse is semantically equal to the original (EqualSemantics).
+//  4. Format is a fixed point: formatting the reparse reproduces the
+//     same text byte-for-byte, so formatting is idempotent and stable.
+//
+// The corpus seeds cover every syntactic feature: decorations with
+// multi-target @drop, multi-signature @if/@elif chains, @replayproxy,
+// line continuations, oneway methods, out parameters, and the shipped
+// specs' general shape — plus the malformed inputs the error tests
+// exercise, so the fuzzer starts near both sides of the accept boundary.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Minimal.
+		"interface IEmpty {\n}\n",
+		// Plain methods, every type, out params, oneway.
+		`interface IKitchenSink {
+	int add(int a, long b);
+	String name(boolean flag, float scale, double precise);
+	void fill(in Bundle extras, out Bundle result);
+	oneway void poke(IBinder token, FileDescriptor fd);
+}
+`,
+		// Full decoration block with continuations, multi-target @drop,
+		// @if/@elif chains, and dotted proxy paths (paper Figures 7 and
+		// 9 shapes).
+		`interface IAlarmManager {
+	@record {
+		@drop this;
+		@if operation;
+		@replayproxy \
+			flux.recordreplay.Proxies.alarmMgrSet;
+	}
+	void set(int type, long triggerAtTime, in PendingIntent operation);
+
+	@record {
+		@drop this, set;
+		@if type, triggerAtTime;
+		@elif operation;
+	}
+	void remove(in PendingIntent operation);
+}
+`,
+		// Bare @record and the pair-annihilation idiom.
+		`interface IClipboard {
+	@record
+	void setPrimaryClip(in ClipData clip);
+
+	@record { @drop this, setPrimaryClip; }
+	void clearPrimaryClip();
+}
+`,
+		// Malformed inputs from the parser error tests.
+		"interface {",
+		"interface I { void f(int) }",
+		"interface I { @record { @drop nosuch; } void a(); }",
+		"interface I { @record { @drop this; @elif x; } void a(int x); }",
+		"interface I { @record { @frob x; } void a(int x); }",
+		"interface I {\n\tvoid f(in);\n}\n",
+		"interface I { @record { @replayproxy a.b; @replayproxy c.d; } void a(); }",
+		"@record",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		itf, err := Parse(src) // must not panic
+		if err != nil {
+			return
+		}
+		text := Format(itf)
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Format output does not reparse: %v\ninput:\n%s\nformatted:\n%s", err, src, text)
+		}
+		if !EqualSemantics(itf, again) {
+			t.Fatalf("reparse is not semantically equal\ninput:\n%s\nformatted:\n%s", src, text)
+		}
+		if text2 := Format(again); text2 != text {
+			t.Fatalf("Format is not a fixed point\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+		if !strings.Contains(text, itf.Name) {
+			t.Fatalf("Format dropped the interface name %q:\n%s", itf.Name, text)
+		}
+	})
+}

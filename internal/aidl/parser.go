@@ -9,6 +9,11 @@ import (
 // reference declared methods (or "this"), @if arguments must name
 // parameters of every method in the drop list, and decorations must precede
 // a method declaration.
+//
+// Every parse or semantic error names the interface and method being
+// parsed (when known) in addition to the line:column position, so a bad
+// decoration inside a 30-method service definition is attributable without
+// counting lines.
 func Parse(src string) (*Interface, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -38,6 +43,32 @@ func MustParse(src string) *Interface {
 type parser struct {
 	toks []token
 	pos  int
+
+	// Diagnostic context: the interface name once parsed, and a short
+	// description of the construct being parsed ("method set",
+	// "@record block before method 3"). Both feed errf so every error
+	// carries interface and method context, not just line:col.
+	itfName string
+	where   string
+	// elifNoIf defers the "@elif without preceding @if" error from the
+	// decoration block (where the method name is not yet known) to just
+	// after the decorated method's declaration is parsed.
+	elifNoIf Pos
+}
+
+// errf builds a positioned, contextual parse error:
+//
+//	aidl: interface IAlarmManager, method set: 5:12: expected ';' ...
+func (p *parser) errf(line, col int, format string, args ...any) error {
+	ctx := ""
+	if p.itfName != "" {
+		ctx = "interface " + p.itfName
+		if p.where != "" {
+			ctx += ", " + p.where
+		}
+		ctx += ": "
+	}
+	return fmt.Errorf("aidl: %s%d:%d: %s", ctx, line, col, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -53,7 +84,7 @@ func (p *parser) next() token {
 func (p *parser) expect(k tokenKind) (token, error) {
 	t := p.next()
 	if t.kind != k {
-		return t, fmt.Errorf("aidl: %d:%d: expected %v, found %v %q", t.line, t.col, k, t.kind, t.text)
+		return t, p.errf(t.line, t.col, "expected %v, found %v %q", k, t.kind, t.text)
 	}
 	return t, nil
 }
@@ -64,7 +95,7 @@ func (p *parser) expectIdent(text string) (token, error) {
 		return t, err
 	}
 	if text != "" && t.text != text {
-		return t, fmt.Errorf("aidl: %d:%d: expected %q, found %q", t.line, t.col, text, t.text)
+		return t, p.errf(t.line, t.col, "expected %q, found %q", text, t.text)
 	}
 	return t, nil
 }
@@ -77,6 +108,7 @@ func (p *parser) parseInterface() (*Interface, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.itfName = name.text
 	if _, err := p.expect(tokLBrace); err != nil {
 		return nil, err
 	}
@@ -87,30 +119,39 @@ func (p *parser) parseInterface() (*Interface, error) {
 			p.next()
 			break
 		}
-		if p.peek().kind == tokEOF {
-			return nil, fmt.Errorf("aidl: unexpected EOF inside interface %s", itf.Name)
+		if t := p.peek(); t.kind == tokEOF {
+			return nil, p.errf(t.line, t.col, "unexpected EOF before '}'")
 		}
 		var spec *RecordSpec
 		if p.peek().kind == tokAt {
+			p.where = fmt.Sprintf("@record block before method %d", len(itf.Methods)+1)
 			spec, err = p.parseDecoration()
 			if err != nil {
 				return nil, err
 			}
 		}
+		p.where = fmt.Sprintf("method %d", len(itf.Methods)+1)
 		m, err := p.parseMethod()
 		if err != nil {
 			return nil, err
 		}
+		// Errors deferred from the decoration block fire here, while
+		// p.where still names the method parseMethod just read.
+		if p.elifNoIf.IsValid() {
+			return nil, p.errf(p.elifNoIf.Line, p.elifNoIf.Col, "@elif without preceding @if")
+		}
+		p.where = ""
 		m.Record = spec
 		m.Code = code
 		code++
-		if itf.Method(m.Name) != m && itf.Method(m.Name) != nil {
-			return nil, fmt.Errorf("aidl: interface %s declares method %s twice", itf.Name, m.Name)
+		if prev := itf.Method(m.Name); prev != nil {
+			return nil, p.errf(m.Pos.Line, m.Pos.Col, "method %s declared twice", m.Name)
 		}
 		itf.Methods = append(itf.Methods, m)
 	}
 	if t := p.peek(); t.kind != tokEOF {
-		return nil, fmt.Errorf("aidl: %d:%d: trailing input after interface", t.line, t.col)
+		p.where = ""
+		return nil, p.errf(t.line, t.col, "trailing input after interface")
 	}
 	return itf, nil
 }
@@ -120,7 +161,8 @@ func (p *parser) parseInterface() (*Interface, error) {
 //	@record
 //	@record { @drop a, b; @if x, y; @elif z; @replayproxy pkg.Cls.meth; }
 func (p *parser) parseDecoration() (*RecordSpec, error) {
-	if _, err := p.expect(tokAt); err != nil {
+	at, err := p.expect(tokAt)
+	if err != nil {
 		return nil, err
 	}
 	kw, err := p.expect(tokIdent)
@@ -128,9 +170,9 @@ func (p *parser) parseDecoration() (*RecordSpec, error) {
 		return nil, err
 	}
 	if kw.text != "record" {
-		return nil, fmt.Errorf("aidl: %d:%d: decoration must start with @record, found @%s", kw.line, kw.col, kw.text)
+		return nil, p.errf(kw.line, kw.col, "decoration must start with @record, found @%s", kw.text)
 	}
-	spec := &RecordSpec{}
+	spec := &RecordSpec{AtPos: Pos{Line: at.line, Col: at.col}}
 	if p.peek().kind != tokLBrace {
 		return spec, nil // bare @record
 	}
@@ -145,76 +187,85 @@ func (p *parser) parseDecoration() (*RecordSpec, error) {
 		}
 		switch stmt.text {
 		case "drop":
-			names, err := p.parseIdentList()
+			names, poss, err := p.parseIdentList()
 			if err != nil {
 				return nil, err
 			}
 			spec.DropMethods = append(spec.DropMethods, names...)
+			spec.DropPos = append(spec.DropPos, poss...)
 		case "if", "elif":
-			if stmt.text == "elif" && len(spec.Signatures) == 0 {
-				return nil, fmt.Errorf("aidl: %d:%d: @elif without preceding @if", stmt.line, stmt.col)
+			if stmt.text == "elif" && len(spec.Signatures) == 0 && !p.elifNoIf.IsValid() {
+				// Defer the error until the decorated method's name is
+				// known, so the diagnostic can say which method the
+				// malformed block sits on.
+				p.elifNoIf = Pos{Line: stmt.line, Col: stmt.col}
 			}
-			args, err := p.parseIdentList()
+			args, poss, err := p.parseIdentList()
 			if err != nil {
 				return nil, err
 			}
 			spec.Signatures = append(spec.Signatures, args)
+			spec.SigPos = append(spec.SigPos, poss)
 		case "replayproxy":
-			path, err := p.parseDottedPath()
+			path, pathPos, err := p.parseDottedPath()
 			if err != nil {
 				return nil, err
 			}
 			if spec.ReplayProxy != "" {
-				return nil, fmt.Errorf("aidl: %d:%d: duplicate @replayproxy", stmt.line, stmt.col)
+				return nil, p.errf(stmt.line, stmt.col, "duplicate @replayproxy")
 			}
 			spec.ReplayProxy = path
+			spec.ProxyPos = pathPos
 			if _, err := p.expect(tokSemi); err != nil {
 				return nil, err
 			}
 		default:
-			return nil, fmt.Errorf("aidl: %d:%d: unknown decoration @%s", stmt.line, stmt.col, stmt.text)
+			return nil, p.errf(stmt.line, stmt.col, "unknown decoration @%s", stmt.text)
 		}
 	}
 	p.next() // consume '}'
 	return spec, nil
 }
 
-func (p *parser) parseIdentList() ([]string, error) {
+func (p *parser) parseIdentList() ([]string, []Pos, error) {
 	var names []string
+	var poss []Pos
 	for {
 		t, err := p.expect(tokIdent)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		names = append(names, t.text)
+		poss = append(poss, Pos{Line: t.line, Col: t.col})
 		switch p.peek().kind {
 		case tokComma:
 			p.next()
 		case tokSemi:
 			p.next()
-			return names, nil
+			return names, poss, nil
 		default:
 			t := p.peek()
-			return nil, fmt.Errorf("aidl: %d:%d: expected ',' or ';' in list, found %v", t.line, t.col, t.kind)
+			return nil, nil, p.errf(t.line, t.col, "expected ',' or ';' in list, found %v", t.kind)
 		}
 	}
 }
 
-func (p *parser) parseDottedPath() (string, error) {
+func (p *parser) parseDottedPath() (string, Pos, error) {
 	t, err := p.expect(tokIdent)
 	if err != nil {
-		return "", err
+		return "", Pos{}, err
 	}
+	pos := Pos{Line: t.line, Col: t.col}
 	path := t.text
 	for p.peek().kind == tokDot {
 		p.next()
 		t, err := p.expect(tokIdent)
 		if err != nil {
-			return "", err
+			return "", Pos{}, err
 		}
 		path += "." + t.text
 	}
-	return path, nil
+	return path, pos, nil
 }
 
 // parseMethod parses `[oneway] retType name(params);`.
@@ -230,18 +281,25 @@ func (p *parser) parseMethod() (*Method, error) {
 		if err != nil {
 			return nil, err
 		}
-		if typeOf(ret.text) != TypeVoid {
-			return nil, fmt.Errorf("aidl: %d:%d: oneway methods must return void", ret.line, ret.col)
-		}
 	}
 	name, err := p.expect(tokIdent)
 	if err != nil {
 		return nil, err
 	}
+	p.where = "method " + name.text
+	// Checked only now so the diagnostic names the method.
+	if oneway && typeOf(ret.text) != TypeVoid {
+		return nil, p.errf(ret.line, ret.col, "oneway methods must return void")
+	}
 	if _, err := p.expect(tokLParen); err != nil {
 		return nil, err
 	}
-	m := &Method{Name: name.text, Returns: typeOf(ret.text), OneWay: oneway}
+	m := &Method{
+		Name:    name.text,
+		Returns: typeOf(ret.text),
+		OneWay:  oneway,
+		Pos:     Pos{Line: name.line, Col: name.col},
+	}
 	for p.peek().kind != tokRParen {
 		var param Param
 		t, err := p.expect(tokIdent)
@@ -263,6 +321,7 @@ func (p *parser) parseMethod() (*Method, error) {
 			return nil, err
 		}
 		param.Name = pname.text
+		param.Pos = Pos{Line: pname.line, Col: pname.col}
 		m.Params = append(m.Params, param)
 		if p.peek().kind == tokComma {
 			p.next()
@@ -275,18 +334,28 @@ func (p *parser) parseMethod() (*Method, error) {
 	return m, nil
 }
 
+// checkErrf formats a semantic-check error with full interface/method
+// context and, when the offending token position is known, line:col.
+func checkErrf(itf *Interface, m *Method, pos Pos, format string, args ...any) error {
+	loc := ""
+	if pos.IsValid() {
+		loc = pos.String() + ": "
+	}
+	return fmt.Errorf("aidl: interface %s, method %s: %s%s", itf.Name, m.Name, loc, fmt.Sprintf(format, args...))
+}
+
 // check runs semantic validation over a parsed interface.
 func check(itf *Interface) error {
 	seen := map[string]bool{}
 	for _, m := range itf.Methods {
 		if seen[m.Name] {
-			return fmt.Errorf("aidl: interface %s declares method %s twice", itf.Name, m.Name)
+			return checkErrf(itf, m, m.Pos, "declared twice")
 		}
 		seen[m.Name] = true
 		pseen := map[string]bool{}
 		for _, param := range m.Params {
 			if pseen[param.Name] {
-				return fmt.Errorf("aidl: %s.%s declares parameter %s twice", itf.Name, m.Name, param.Name)
+				return checkErrf(itf, m, param.Pos, "parameter %s declared twice", param.Name)
 			}
 			pseen[param.Name] = true
 		}
@@ -295,19 +364,19 @@ func check(itf *Interface) error {
 		if m.Record == nil {
 			continue
 		}
-		for _, target := range m.Record.DropMethods {
+		for i, target := range m.Record.DropMethods {
 			if target == "this" {
 				continue
 			}
 			tm := itf.Method(target)
 			if tm == nil {
-				return fmt.Errorf("aidl: %s.%s: @drop references unknown method %s", itf.Name, m.Name, target)
+				return checkErrf(itf, m, m.Record.DropMethodPos(i), "@drop references unknown method %s", target)
 			}
 		}
-		for _, sig := range m.Record.Signatures {
-			for _, arg := range sig {
+		for i, sig := range m.Record.Signatures {
+			for j, arg := range sig {
 				if param, _ := m.Param(arg); param == nil {
-					return fmt.Errorf("aidl: %s.%s: @if argument %s is not a parameter", itf.Name, m.Name, arg)
+					return checkErrf(itf, m, m.Record.SignatureArgPos(i, j), "@if argument %s is not a parameter", arg)
 				}
 				// Every drop target must also carry the argument so the
 				// signature is comparable across calls.
@@ -320,8 +389,8 @@ func check(itf *Interface) error {
 						continue // reported above
 					}
 					if param, _ := tm.Param(arg); param == nil {
-						return fmt.Errorf("aidl: %s.%s: @if argument %s is not a parameter of drop target %s",
-							itf.Name, m.Name, arg, target)
+						return checkErrf(itf, m, m.Record.SignatureArgPos(i, j),
+							"@if argument %s is not a parameter of drop target %s", arg, target)
 					}
 				}
 			}

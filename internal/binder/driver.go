@@ -371,6 +371,7 @@ func (p *Proc) transact(h Handle, code uint32, data *Parcel, oneway bool) (*Parc
 	telemetry := obs.Enabled()
 	var txStart time.Time
 	if telemetry {
+		//fluxvet:allow wallclock — telemetry measures real dispatch latency; it never feeds the virtual clock
 		txStart = time.Now()
 	}
 	d.mu.Lock()

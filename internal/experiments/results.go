@@ -47,7 +47,8 @@ const ResultsSchemaVersion = 1
 // NewResults returns an empty Results for the given matrix worker count.
 func NewResults(workers int) *Results {
 	return &Results{
-		Schema:        ResultsSchemaVersion,
+		Schema: ResultsSchemaVersion,
+		//fluxvet:allow wallclock — report provenance timestamp; never compared against virtual time
 		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 		MatrixWorkers: workers,
 	}
@@ -57,13 +58,15 @@ func NewResults(workers int) *Results {
 // merges the metrics fn returned. A nil receiver is allowed and simply
 // runs fn, so callers can thread an optional collector through.
 func (r *Results) Time(name string, fn func() (map[string]float64, error)) error {
+	//fluxvet:allow wallclock — WallClockMS deliberately reports real harness cost alongside virtual timings
 	start := time.Now()
 	metrics, err := fn()
 	if r == nil {
 		return err
 	}
 	r.Sections = append(r.Sections, SectionResult{
-		Name:        name,
+		Name: name,
+		//fluxvet:allow wallclock — pairs with the wall-clock start above
 		WallClockMS: float64(time.Since(start).Microseconds()) / 1000,
 		Metrics:     metrics,
 	})

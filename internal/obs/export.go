@@ -326,6 +326,7 @@ func SortTree(spans []SpanData) []SpanData {
 		})
 	}
 	order(roots)
+	//fluxvet:allow maprange — sorts each child slice in place; per-key mutation commutes across keys
 	for _, c := range children {
 		order(c)
 	}

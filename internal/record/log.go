@@ -327,6 +327,10 @@ func (l *Log) MarshalApp(app string) []byte {
 	return buf
 }
 
+// Apps lists the apps with live entries in the log, sorted. fluxvet's log
+// linter iterates it to lint every app slice of a persisted log.
+func (l *Log) Apps() []string { return l.appsWithEntries() }
+
 // appsWithEntries lists apps with live entries in the log, sorted.
 func (l *Log) appsWithEntries() []string {
 	shards := *l.shards.Load()

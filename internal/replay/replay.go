@@ -22,6 +22,7 @@ package replay
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"flux/internal/aidl"
@@ -160,6 +161,33 @@ func (e *Engine) RegisterInterface(itf *aidl.Interface) {
 
 // RegisterProxy installs a proxy under its @replayproxy path.
 func (e *Engine) RegisterProxy(path string, p Proxy) { e.proxies[path] = p }
+
+// replyDependentProxies names the standard proxies that reconstruct state
+// from the recorded *reply* parcel (the sensor proxies re-inject the
+// handle/fd the home device handed back). fluxvet uses this to reject
+// @replayproxy decorations on oneway methods, which record no reply.
+var replyDependentProxies = map[string]bool{
+	"flux.recordreplay.Proxies.sensorCreateConnection": true,
+	"flux.recordreplay.Proxies.sensorGetChannel":       true,
+}
+
+// ProxyPaths returns every registered @replayproxy path, sorted — the
+// proxy registry fluxvet resolves decorations against.
+func (e *Engine) ProxyPaths() []string {
+	out := make([]string, 0, len(e.proxies))
+	for path := range e.proxies {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProxyInfo reports whether path resolves in the registry and whether the
+// proxy replays from the recorded reply parcel.
+func (e *Engine) ProxyInfo(path string) (registered, needsReply bool) {
+	_, ok := e.proxies[path]
+	return ok, replyDependentProxies[path]
+}
 
 // Replay re-applies a record log to the guest device in sequence order.
 func (e *Engine) Replay(ctx *Context, entries []*record.Entry) (Stats, error) {

@@ -1,0 +1,59 @@
+package services
+
+import "flux/internal/aidl"
+
+// AIDLSpec pairs one shipped service definition with its compiled
+// interface, for consumers that need the full spec catalog without
+// booting a System: fluxvet analyzes every decorated interface, and the
+// evaluation driver counts decoration LOC from the sources.
+type AIDLSpec struct {
+	// Service is the ServiceManager registration name.
+	Service string
+	// Source is the decorated AIDL definition.
+	Source string
+	// Itf is the compiled interface.
+	Itf *aidl.Interface
+}
+
+// AIDLSpecs returns every AIDL definition the services package ships —
+// the 22 decorated Table 2 services plus the undecorated package manager —
+// in registration order. The slice is rebuilt per call; callers may
+// reorder it freely.
+func AIDLSpecs() []AIDLSpec {
+	return []AIDLSpec{
+		{"notification", NotificationAIDL, NotificationInterface},
+		{"alarm", AlarmAIDL, AlarmInterface},
+		{"sensorservice", SensorAIDL, SensorInterface},
+		{"sensorservice.connection", SensorConnectionAIDL, SensorConnectionInterface},
+		{"audio", AudioAIDL, AudioInterface},
+		{"activity", ActivityAIDL, ActivityInterface},
+		{"clipboard", ClipboardAIDL, ClipboardInterface},
+		{"wifi", WifiAIDL, WifiInterface},
+		{"connectivity", ConnectivityAIDL, ConnectivityInterface},
+		{"location", LocationAIDL, LocationInterface},
+		{"power", PowerAIDL, PowerInterface},
+		{"vibrator", VibratorAIDL, VibratorInterface},
+		{"input_method", InputMethodAIDL, InputMethodInterface},
+		{"input", InputAIDL, InputInterface},
+		{"keyguard", KeyguardAIDL, KeyguardInterface},
+		{"uimode", UiModeAIDL, UiModeInterface},
+		{"servicediscovery", NsdAIDL, NsdInterface},
+		{"textservices", TextServicesAIDL, TextServicesInterface},
+		{"country_detector", CountryAIDL, CountryInterface},
+		{"camera", CameraAIDL, CameraInterface},
+		{"bluetooth_manager", BluetoothAIDL, BluetoothInterface},
+		{"serial", SerialAIDL, SerialInterface},
+		{"usb", UsbAIDL, UsbInterface},
+		{"package", PackageAIDL, PackageInterface},
+	}
+}
+
+// InterfacesByDescriptor returns the shipped compiled interfaces keyed by
+// descriptor, the shape fluxvet's log linter consumes.
+func InterfacesByDescriptor() map[string]*aidl.Interface {
+	out := make(map[string]*aidl.Interface)
+	for _, s := range AIDLSpecs() {
+		out[s.Itf.Name] = s.Itf
+	}
+	return out
+}

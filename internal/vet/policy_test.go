@@ -1,0 +1,85 @@
+package vet_test
+
+import (
+	"testing"
+
+	"flux/internal/replay"
+	"flux/internal/services"
+	"flux/internal/vet"
+)
+
+// shippedSpecFindings runs layer 1 over the full internal/services
+// catalog exactly as cmd/fluxvet does: live proxy registry, shipped
+// waiver policy.
+func shippedSpecFindings() []vet.Finding {
+	eng := replay.NewEngine()
+	cfg := vet.SpecConfig{Proxies: func(path string) vet.ProxyInfo {
+		registered, needsReply := eng.ProxyInfo(path)
+		return vet.ProxyInfo{Registered: registered, NeedsReply: needsReply}
+	}}
+	var specs []vet.SpecSource
+	for _, s := range services.AIDLSpecs() {
+		specs = append(specs, vet.SpecSource{Service: s.Service, Itf: s.Itf})
+	}
+	return vet.Apply(vet.AnalyzeSpecs(specs, cfg), vet.DefaultSpecWaivers())
+}
+
+// TestShippedSpecsAreClean is the acceptance gate: fluxvet over the 24
+// shipped service definitions reports zero findings — including zero
+// stale waivers, so every entry in DefaultSpecWaivers still matches a
+// real deviation.
+func TestShippedSpecsAreClean(t *testing.T) {
+	fs := shippedSpecFindings()
+	for _, f := range fs {
+		t.Errorf("shipped spec finding: %s", f.String())
+	}
+}
+
+// TestShippedSpecsNeedTheWaivers guards the other direction: without the
+// policy the analyzer does flag the intentional deviations (the Fig. 9
+// PendingIntent guards and the device-local unrecorded methods), proving
+// the zero-findings result comes from reasoned waivers rather than from
+// checks that never fire on real specs.
+func TestShippedSpecsNeedTheWaivers(t *testing.T) {
+	eng := replay.NewEngine()
+	cfg := vet.SpecConfig{Proxies: func(path string) vet.ProxyInfo {
+		registered, needsReply := eng.ProxyInfo(path)
+		return vet.ProxyInfo{Registered: registered, NeedsReply: needsReply}
+	}}
+	var specs []vet.SpecSource
+	for _, s := range services.AIDLSpecs() {
+		specs = append(specs, vet.SpecSource{Service: s.Service, Itf: s.Itf})
+	}
+	raw := vet.AnalyzeSpecs(specs, cfg)
+	if len(raw) != len(vet.DefaultSpecWaivers()) {
+		t.Fatalf("raw findings (%d) and waivers (%d) out of sync:\n%v",
+			len(raw), len(vet.DefaultSpecWaivers()), raw)
+	}
+}
+
+// TestShippedProxyPathsResolve pins the registry the @replayproxy checks
+// resolve against: every shipped proxy path registers, and the sensor
+// proxies are the reply-dependent ones.
+func TestShippedProxyPathsResolve(t *testing.T) {
+	eng := replay.NewEngine()
+	paths := eng.ProxyPaths()
+	if len(paths) == 0 {
+		t.Fatal("no registered proxy paths")
+	}
+	needReply := 0
+	for _, p := range paths {
+		registered, needsReply := eng.ProxyInfo(p)
+		if !registered {
+			t.Errorf("ProxyPaths lists %s but ProxyInfo does not resolve it", p)
+		}
+		if needsReply {
+			needReply++
+		}
+	}
+	if needReply != 2 {
+		t.Errorf("want the 2 sensor proxies reply-dependent, got %d", needReply)
+	}
+	if registered, _ := eng.ProxyInfo("flux.recordreplay.Proxies.ghost"); registered {
+		t.Error("unknown path wrongly resolves")
+	}
+}

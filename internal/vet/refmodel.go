@@ -1,0 +1,126 @@
+package vet
+
+import (
+	"flux/internal/aidl"
+	"flux/internal/binder"
+	"flux/internal/record"
+)
+
+// refModel re-implements Selective Record's drop semantics as a flat scan
+// with per-call parcel re-parsing — the PR-1 reference model the sharded,
+// index-accelerated recorder is regression-tested against. Layer 2 uses it
+// the other way around: given a log that *claims* to be the surviving set,
+// the model predicts which of those survivors the rules would have pruned.
+// Any prediction is drift between the persisted log and the specs.
+//
+// Semantics mirrored from record.Recorder.applyDrops (keep in sync):
+//   - a previous entry of a drop-target method matches if, for any one
+//     @if/@elif signature, every named argument is equal between the
+//     previous call and the triggering call; no signatures means match
+//     unconditionally;
+//   - `this` in the drop list makes the method its own target, and
+//     additionally suppresses the triggering call when the match removed
+//     an entry of a *different* method (pair annihilation).
+type refModel struct {
+	itfs  map[string]*aidl.Interface
+	rules map[string]map[string]aidl.Rule // descriptor → method → rule
+}
+
+func newRefModel(itfs map[string]*aidl.Interface) *refModel {
+	m := &refModel{itfs: itfs, rules: make(map[string]map[string]aidl.Rule)}
+	for desc, itf := range itfs {
+		rules := make(map[string]aidl.Rule)
+		for _, r := range aidl.Rules(itf) {
+			rules[r.Method] = r
+		}
+		m.rules[desc] = rules
+	}
+	return m
+}
+
+// rule returns the method's compiled record rule, if decorated.
+func (m *refModel) rule(e *record.Entry) (aidl.Rule, bool) {
+	r, ok := m.rules[e.Interface][e.Method]
+	return r, ok
+}
+
+// predict evaluates entry e's drop clauses against the prior entries.
+// It returns the indexes into prior that the rules would have pruned
+// before e was appended, plus whether e itself would have been suppressed
+// (drop-this annihilation). Malformed parcels match nothing, exactly as in
+// the recorder.
+func (m *refModel) predict(e *record.Entry, prior []*record.Entry) (pruned []int, suppressed bool) {
+	rule, ok := m.rule(e)
+	if !ok || len(rule.DropMethods) == 0 {
+		return nil, false
+	}
+	itf := m.itfs[e.Interface]
+	em := itf.Method(e.Method)
+	if em == nil {
+		return nil, false
+	}
+	targets := map[string]bool{}
+	for _, name := range rule.DropMethods {
+		if name == "this" {
+			name = e.Method
+		}
+		targets[name] = true
+	}
+	data, err := binder.UnmarshalParcel(e.Data)
+	if err != nil {
+		return nil, false
+	}
+	// The triggering call's signature values, re-parsed per the reference
+	// semantics.
+	sigVals := make([]map[string]string, len(rule.Signatures))
+	for i, sig := range rule.Signatures {
+		vals := make(map[string]string, len(sig))
+		for _, arg := range sig {
+			v, err := aidl.ArgString(em, data, arg)
+			if err != nil {
+				return nil, false // malformed: record nothing, drop nothing
+			}
+			vals[arg] = v
+		}
+		sigVals[i] = vals
+	}
+	droppedOther := false
+	for idx, p := range prior {
+		if p.Interface != e.Interface || !targets[p.Method] {
+			continue
+		}
+		pm := itf.Method(p.Method)
+		if pm == nil {
+			continue
+		}
+		if len(rule.Signatures) == 0 {
+			pruned = append(pruned, idx)
+			if p.Method != e.Method {
+				droppedOther = true
+			}
+			continue
+		}
+		pdata, err := binder.UnmarshalParcel(p.Data)
+		if err != nil {
+			continue // malformed previous entry matches nothing
+		}
+		for i, sig := range rule.Signatures {
+			match := true
+			for _, arg := range sig {
+				pv, err := aidl.ArgString(pm, pdata, arg)
+				if err != nil || pv != sigVals[i][arg] {
+					match = false
+					break
+				}
+			}
+			if match {
+				pruned = append(pruned, idx)
+				if p.Method != e.Method {
+					droppedOther = true
+				}
+				break
+			}
+		}
+	}
+	return pruned, rule.DropsSelf() && droppedOther
+}

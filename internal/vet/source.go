@@ -1,0 +1,465 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Layer 3 — Go source passes.
+//
+// A self-contained analysis harness over the standard library's go/ast +
+// go/types (the container bakes no golang.org/x/tools, so there is no
+// go/analysis multichecker to lean on; the pass shape below mirrors it
+// closely enough that migrating later is mechanical). Two passes enforce
+// repo-wide simulation invariants:
+//
+//	wallclock  — no wall-clock reads (time.Now, time.Sleep, time.Since,
+//	             timers/tickers) in virtual-clock packages. The entire
+//	             simulation advances on kernel.Clock; a stray time.Now
+//	             silently couples results to host speed. internal/obs
+//	             (wall-time spans by design) and internal/apps (real
+//	             throughput microbenches) are exempt; individual
+//	             intentional sites carry a `//fluxvet:allow wallclock`
+//	             comment with a reason.
+//	maprange   — no bare map iteration in deterministic output paths
+//	             (experiments, migration, netsim, obs): Go randomizes map
+//	             order, so a map range feeding Report fields, metrics, or
+//	             rendered tables produces run-to-run diffs. Collection
+//	             loops (append-only), integer accumulation, and
+//	             map-to-map transforms are order-independent and allowed;
+//	             everything else needs sorted keys or an explicit
+//	             `//fluxvet:allow maprange` comment.
+//
+// Packages are type-checked one at a time with a permissive importer, so
+// the pass needs no network, no build cache, and no subprocess: map-ness
+// of package-local expressions (the realistic bug class) resolves exactly;
+// cross-package map-typed returns degrade to a syntactic miss, never a
+// false positive.
+
+// AllowDirective is the magic comment that suppresses a source finding on
+// its own line or the line directly above:
+//
+//	start := time.Now() //fluxvet:allow wallclock — measures real regen cost
+const AllowDirective = "//fluxvet:allow"
+
+// wallClockDeny lists the time package selectors that read or depend on
+// the wall clock. Pure types/constructors (time.Duration, time.Unix,
+// time.Date, time.UnixMilli) are fine.
+var wallClockDeny = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// SourceConfig parameterizes RunSource.
+type SourceConfig struct {
+	// Root is the repository root (the directory holding go.mod).
+	Root string
+	// VirtualClockDirs are Root-relative package directories in which the
+	// wallclock pass runs.
+	VirtualClockDirs []string
+	// DeterministicDirs are Root-relative package directories in which
+	// the maprange pass runs.
+	DeterministicDirs []string
+	// IncludeTests also lints _test.go files (off by default: tests
+	// routinely use real timeouts).
+	IncludeTests bool
+}
+
+// DefaultSourceConfig returns the repo's shipped invariant scope: every
+// internal package is on the virtual clock except obs (wall-time spans by
+// design) and apps (real-throughput microbenches); the deterministic
+// output paths are the evaluation driver, the migration pipeline, the
+// network simulator, and the telemetry exporters.
+func DefaultSourceConfig(root string) SourceConfig {
+	cfg := SourceConfig{Root: root}
+	exempt := map[string]bool{"obs": true, "apps": true}
+	ents, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err == nil {
+		for _, e := range ents {
+			if e.IsDir() && !exempt[e.Name()] {
+				cfg.VirtualClockDirs = append(cfg.VirtualClockDirs, filepath.Join("internal", e.Name()))
+			}
+		}
+	}
+	sort.Strings(cfg.VirtualClockDirs)
+	cfg.DeterministicDirs = []string{
+		"internal/experiments",
+		"internal/migration",
+		"internal/netsim",
+		"internal/obs",
+	}
+	return cfg
+}
+
+// RunSource runs the layer-3 passes and returns positioned findings.
+func RunSource(cfg SourceConfig) ([]Finding, error) {
+	var out []Finding
+	wall := map[string]bool{}
+	for _, d := range cfg.VirtualClockDirs {
+		wall[d] = true
+	}
+	det := map[string]bool{}
+	for _, d := range cfg.DeterministicDirs {
+		det[d] = true
+	}
+	dirs := make([]string, 0, len(wall)+len(det))
+	for d := range wall {
+		dirs = append(dirs, d)
+	}
+	for d := range det {
+		if !wall[d] {
+			dirs = append(dirs, d)
+		}
+	}
+	sort.Strings(dirs)
+
+	// One FileSet and one (source-resolving, cached) stdlib importer are
+	// shared across packages so the standard library is type-checked once.
+	fset := token.NewFileSet()
+	imp := permissiveImporter{
+		fallback: importer.ForCompiler(fset, "source", nil),
+		stubs:    map[string]*types.Package{},
+	}
+	for _, dir := range dirs {
+		pkg, err := loadPackage(fset, imp, filepath.Join(cfg.Root, dir), cfg.IncludeTests)
+		if err != nil {
+			return nil, fmt.Errorf("vet: loading %s: %w", dir, err)
+		}
+		if pkg == nil {
+			continue // no Go files
+		}
+		if wall[dir] {
+			out = append(out, wallClockPass(pkg)...)
+		}
+		if det[dir] {
+			out = append(out, mapRangePass(pkg)...)
+		}
+	}
+	Sort(out)
+	return out, nil
+}
+
+// sourcePkg is one parsed (and best-effort type-checked) package.
+type sourcePkg struct {
+	fset  *token.FileSet
+	files []*ast.File
+	info  *types.Info
+	// allowed maps file → set of lines carrying (or directly below) an
+	// allow directive, per check name.
+	allowed map[string]map[int]map[string]bool
+}
+
+// loadPackage parses every Go file of one directory (non-recursive) and
+// type-checks it with a permissive importer: the standard library resolves
+// for real (from GOROOT source), everything else gets an empty placeholder
+// package. Type errors are expected and ignored; the recorded types.Info
+// still resolves everything package-local.
+func loadPackage(fset *token.FileSet, imp types.Importer, dir string, includeTests bool) (*sourcePkg, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &sourcePkg{fset: fset, allowed: map[string]map[int]map[string]bool{}}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.files = append(p.files, f)
+		p.indexAllows(path, f)
+	}
+	if len(p.files) == 0 {
+		return nil, nil
+	}
+	p.info = &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer:                 imp,
+		Error:                    func(error) {}, // non-stdlib imports are stubs; errors expected
+		DisableUnusedImportCheck: true,
+	}
+	conf.Check(dir, fset, p.files, p.info) // error ignored: Info is still filled
+	return p, nil
+}
+
+// permissiveImporter resolves stdlib imports for real (so `time` and map
+// types from the standard library type-check exactly) and fabricates an
+// empty placeholder for everything else (module-internal imports resolve
+// lazily to invalid types, which the passes treat as "not provably a
+// map"). Fabricated packages are cached so repeated imports are cheap.
+type permissiveImporter struct {
+	fallback types.Importer
+	stubs    map[string]*types.Package
+}
+
+func (p permissiveImporter) Import(path string) (*types.Package, error) {
+	// Module-internal packages never resolve through the stdlib source
+	// importer; skip the doomed GOROOT lookup.
+	if !strings.Contains(path, ".") && !strings.HasPrefix(path, "flux") && p.fallback != nil {
+		if pkg, err := p.fallback.Import(path); err == nil {
+			return pkg, nil
+		}
+	}
+	if pkg, ok := p.stubs[path]; ok {
+		return pkg, nil
+	}
+	name := path[strings.LastIndex(path, "/")+1:]
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	if p.stubs != nil {
+		p.stubs[path] = pkg
+	}
+	return pkg, nil
+}
+
+// indexAllows records which (line, check) pairs an allow directive covers.
+// A directive covers its own line and the line below, so both trailing and
+// preceding comments work.
+func (p *sourcePkg) indexAllows(path string, f *ast.File) {
+	lines := map[int]map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			idx := strings.Index(text, AllowDirective)
+			if idx < 0 {
+				continue
+			}
+			rest := strings.TrimSpace(text[idx+len(AllowDirective):])
+			check := rest
+			if i := strings.IndexAny(rest, " \t—"); i >= 0 {
+				check = rest[:i]
+			}
+			if check == "" {
+				continue
+			}
+			line := p.fset.Position(c.Pos()).Line
+			for _, l := range []int{line, line + 1} {
+				if lines[l] == nil {
+					lines[l] = map[string]bool{}
+				}
+				lines[l][check] = true
+			}
+		}
+	}
+	p.allowed[path] = lines
+}
+
+func (p *sourcePkg) isAllowed(pos token.Position, check string) bool {
+	return p.allowed[pos.Filename][pos.Line][check]
+}
+
+// wallClockPass flags wall-clock selector uses on the standard time
+// package inside virtual-clock packages.
+func wallClockPass(p *sourcePkg) []Finding {
+	var out []Finding
+	for _, f := range p.files {
+		timeNames := map[string]bool{}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path != "time" {
+				continue
+			}
+			name := "time"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name != "_" && name != "." {
+				timeNames[name] = true
+			}
+		}
+		if len(timeNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !timeNames[id.Name] || !wallClockDeny[sel.Sel.Name] {
+				return true
+			}
+			// A local object named `time` shadows the import.
+			if obj, ok := p.info.Uses[id]; ok {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			pos := p.fset.Position(sel.Pos())
+			if p.isAllowed(pos, "wallclock") {
+				return true
+			}
+			out = append(out, Finding{
+				Check: "wallclock", Severity: Error,
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: fmt.Sprintf("time.%s in a virtual-clock package: route through kernel.Clock or annotate `%s wallclock — <reason>`",
+					sel.Sel.Name, AllowDirective),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// mapRangePass flags bare map iteration in deterministic packages unless
+// the loop body is provably order-independent.
+func mapRangePass(p *sourcePkg) []Finding {
+	var out []Finding
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderIndependentBody(p, rng) {
+				return true
+			}
+			pos := p.fset.Position(rng.Pos())
+			if p.isAllowed(pos, "maprange") {
+				return true
+			}
+			out = append(out, Finding{
+				Check: "maprange", Severity: Error,
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: fmt.Sprintf("bare map iteration in a deterministic path: collect and sort the keys, or annotate `%s maprange — <reason>`",
+					AllowDirective),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// orderIndependentBody reports whether every statement of the range body
+// is order-independent: appending to a slice (collect-then-sort idiom),
+// integer accumulation (+=, ++, --; float accumulation is NOT commutative
+// in IEEE754 and stays flagged), deleting from or storing into another
+// map, an integer counter assignment, or the membership-test idiom
+// `if cond { return <constants> }` — bailing out with the same constant
+// from whichever iteration trips the condition yields the same result in
+// any order.
+func orderIndependentBody(p *sourcePkg, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return true
+	}
+	for _, stmt := range rng.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !integerExpr(p, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !orderIndependentAssign(p, s) {
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete(m, k) is order-independent.
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "delete" {
+				return false
+			}
+		case *ast.IfStmt:
+			if !constantGuardReturn(s) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// constantGuardReturn matches `if cond { return <constant literals> }`
+// with no else and no init statement beyond the condition: an
+// early-return of constants is the same constant regardless of which
+// iteration triggers it.
+func constantGuardReturn(s *ast.IfStmt) bool {
+	if s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	ret, ok := s.Body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, r := range ret.Results {
+		switch e := r.(type) {
+		case *ast.BasicLit:
+		case *ast.Ident:
+			if e.Name != "true" && e.Name != "false" && e.Name != "nil" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func orderIndependentAssign(p *sourcePkg, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative only over integers; float addition is
+		// order-dependent (and string += builds order-dependent output).
+		return len(s.Lhs) == 1 && integerExpr(p, s.Lhs[0])
+	case token.ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		// x = append(x, ...) — the collect-then-sort idiom.
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+				return true
+			}
+		}
+		// m2[k] = v — building another map is order-independent.
+		if _, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+			if tv, ok := p.info.Types[s.Lhs[0].(*ast.IndexExpr).X]; ok && tv.Type != nil {
+				_, isMap := tv.Type.Underlying().(*types.Map)
+				return isMap
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func integerExpr(p *sourcePkg, e ast.Expr) bool {
+	tv, ok := p.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

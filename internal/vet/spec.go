@@ -1,0 +1,308 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flux/internal/aidl"
+)
+
+// Layer 1 — decorator-spec analysis.
+//
+// The checks here run over compiled aidl.Interfaces, so they catch both
+// bad source decorations and programmatically built interfaces that never
+// went through the parser's semantic check. Each finding carries the
+// precise AIDL source position when the interface was parsed from source.
+//
+// Check catalog:
+//
+//	dead-drop       @drop target that is never @record'ed: no entry of it
+//	                can exist in the log, so the rule can never fire.
+//	unknown-target  @drop target that is not a method of the interface
+//	                (programmatic specs bypass the parser check).
+//	self-shadow     a method drops itself by literal name instead of the
+//	                `this` keyword (annihilation semantics silently differ),
+//	                or lists the same target twice.
+//	drop-cycle      a cycle of distinct methods dropping each other where
+//	                some participant omits `this`: the cycle shadows state
+//	                without pairwise annihilation, so the surviving log
+//	                depends on call order in a way replay cannot see.
+//	orphan-guard    @if/@elif signatures with no @drop targets; the guard
+//	                can never be evaluated.
+//	guard-type      @if/@elif argument whose parameter type is not
+//	                comparable (int/long/boolean/String). Parcelable,
+//	                IBinder, and fd guards compare ArgString renderings
+//	                ("h:7", "fd:3") whose numeric values are device-local,
+//	                and float guards compare formatted approximations.
+//	guard-type-mismatch  @if argument typed differently on the triggering
+//	                method and a drop target; the signature comparison is
+//	                between differently-encoded values.
+//	oneway-conflict oneway methods that depend on a reply: non-void
+//	                returns, out/inout parameters, or a @replayproxy that
+//	                replays from the recorded reply parcel (oneway calls
+//	                record no reply).
+//	proxy-unresolved  @replayproxy path not registered in the Adaptive
+//	                Replay proxy registry.
+//	no-record       dispatcher-visible state-mutating method (void return)
+//	                carrying no @record: its effect on service state is
+//	                lost on migration. Methods whose state is intentionally
+//	                device-local are waived with a reason in the policy.
+type SpecSource struct {
+	// Service is the ServiceManager registration name ("alarm",
+	// "notification"); it becomes the File of findings.
+	Service string
+	Itf     *aidl.Interface
+}
+
+// ProxyInfo describes one registered Adaptive Replay proxy.
+type ProxyInfo struct {
+	// Registered reports whether the path resolves at all.
+	Registered bool
+	// NeedsReply reports that the proxy reconstructs state from the
+	// recorded reply parcel (e.g. the sensor proxies), which a oneway
+	// method can never provide.
+	NeedsReply bool
+}
+
+// ProxyResolver resolves an @replayproxy path against the replay engine's
+// registry. A nil resolver disables proxy checks.
+type ProxyResolver func(path string) ProxyInfo
+
+// SpecConfig parameterizes AnalyzeSpecs.
+type SpecConfig struct {
+	Proxies ProxyResolver
+}
+
+// comparableGuardType reports whether @if signatures over the type are
+// exact: the ArgString rendering is a canonical, device-independent value.
+func comparableGuardType(t aidl.Type) bool {
+	switch t {
+	case aidl.TypeInt, aidl.TypeLong, aidl.TypeBool, aidl.TypeString:
+		return true
+	}
+	return false
+}
+
+// AnalyzeSpecs runs every layer-1 check over the given specs.
+func AnalyzeSpecs(specs []SpecSource, cfg SpecConfig) []Finding {
+	var out []Finding
+	for _, s := range specs {
+		out = append(out, analyzeInterface(s, cfg)...)
+	}
+	Sort(out)
+	return out
+}
+
+func analyzeInterface(s SpecSource, cfg SpecConfig) []Finding {
+	itf := s.Itf
+	var out []Finding
+	add := func(check string, sev Severity, m *aidl.Method, pos aidl.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Check:     check,
+			Severity:  sev,
+			File:      s.Service,
+			Line:      pos.Line,
+			Col:       pos.Col,
+			Interface: itf.Name,
+			Method:    m.Name,
+			Message:   fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, m := range itf.Methods {
+		spec := m.Record
+		if spec == nil {
+			// Coverage: a void method mutates service state (it returns
+			// nothing, so it exists only for its side effect) yet carries
+			// no @record — its effect is silently lost on migration.
+			if m.Returns == aidl.TypeVoid {
+				add("no-record", Warn, m, m.Pos,
+					"state-mutating method (void return) carries no @record; its service-side effect is lost on migration")
+			}
+			continue
+		}
+
+		// Drop-list checks.
+		seen := map[string]int{}
+		for i, target := range spec.DropMethods {
+			pos := spec.DropMethodPos(i)
+			name := target
+			if target == "this" {
+				name = m.Name
+			} else if target == m.Name {
+				add("self-shadow", Error, m, pos,
+					"@drop lists the method's own name %q; use the `this` keyword (literal self-drops never trigger pair annihilation)", target)
+			} else {
+				tm := itf.Method(target)
+				if tm == nil {
+					add("unknown-target", Error, m, pos, "@drop references unknown method %s", target)
+					continue
+				}
+				if tm.Record == nil {
+					add("dead-drop", Error, m, pos,
+						"@drop target %s is never @record'ed: no log entry of it can exist, the rule cannot fire", target)
+				}
+			}
+			seen[name]++
+			if seen[name] == 2 { // report once per duplicated target
+				add("self-shadow", Error, m, pos, "@drop lists target %s more than once", name)
+			}
+		}
+
+		// Guard checks.
+		if len(spec.Signatures) > 0 && len(spec.DropMethods) == 0 {
+			add("orphan-guard", Error, m, spec.AtPos,
+				"@if/@elif guards without @drop targets can never be evaluated")
+		}
+		for i, sig := range spec.Signatures {
+			for j, arg := range sig {
+				pos := spec.SignatureArgPos(i, j)
+				param, _ := m.Param(arg)
+				if param == nil {
+					add("unknown-target", Error, m, pos, "@if argument %s is not a parameter", arg)
+					continue
+				}
+				if !comparableGuardType(param.Type) {
+					add("guard-type", Error, m, pos,
+						"@if guards %s of incomparable type %s; signature comparison over its ArgString rendering is lossy (allowed: int, long, boolean, String)",
+						arg, param.Type)
+				}
+				for _, target := range spec.DropMethods {
+					if target == "this" || target == m.Name {
+						continue
+					}
+					tm := itf.Method(target)
+					if tm == nil {
+						continue
+					}
+					tp, _ := tm.Param(arg)
+					if tp != nil && tp.Type != param.Type {
+						add("guard-type-mismatch", Error, m, pos,
+							"@if argument %s is %s here but %s on drop target %s; the signature compares differently-encoded values",
+							arg, param.Type, tp.Type, target)
+					}
+				}
+			}
+		}
+
+		// Replay-proxy resolution.
+		if spec.ReplayProxy != "" && cfg.Proxies != nil {
+			info := cfg.Proxies(spec.ReplayProxy)
+			if !info.Registered {
+				add("proxy-unresolved", Error, m, spec.ProxyPos,
+					"@replayproxy %s is not registered in the Adaptive Replay proxy registry", spec.ReplayProxy)
+			} else if info.NeedsReply && m.OneWay {
+				add("oneway-conflict", Error, m, spec.ProxyPos,
+					"@replayproxy %s replays from the recorded reply parcel, but oneway calls record no reply", spec.ReplayProxy)
+			}
+		}
+	}
+
+	// Oneway/reply conflicts apply to every method, decorated or not.
+	for _, m := range itf.Methods {
+		if !m.OneWay {
+			continue
+		}
+		if m.Returns != aidl.TypeVoid {
+			add("oneway-conflict", Error, m, m.Pos,
+				"oneway method returns %s; oneway transactions produce no reply parcel", m.Returns)
+		}
+		for _, p := range m.Params {
+			if !p.In {
+				add("oneway-conflict", Error, m, p.Pos,
+					"oneway method has out parameter %s; there is no reply parcel to carry it back", p.Name)
+			}
+		}
+	}
+
+	out = append(out, dropCycles(s)...)
+	return out
+}
+
+// dropCycles flags cycles of distinct methods dropping each other where at
+// least one participant's drop list omits `this`. A cycle with `this` on
+// every edge is the paper's pair-annihilation idiom (enable/disable,
+// enqueue/cancel); without it, the cycle silently shadows state in
+// call-order-dependent ways.
+func dropCycles(s SpecSource) []Finding {
+	itf := s.Itf
+	adj := map[string][]string{}
+	hasThis := map[string]bool{}
+	for _, m := range itf.Methods {
+		if m.Record == nil {
+			continue
+		}
+		for _, t := range m.Record.DropMethods {
+			if t == "this" {
+				hasThis[m.Name] = true
+				continue
+			}
+			if t != m.Name && itf.Method(t) != nil {
+				adj[m.Name] = append(adj[m.Name], t)
+			}
+		}
+	}
+
+	var out []Finding
+	reported := map[string]bool{}
+	// Depth-first cycle search from each decorated method, in declaration
+	// order for determinism. Interfaces are small (< 10 methods), so the
+	// quadratic walk is irrelevant.
+	for _, m := range itf.Methods {
+		if m.Record == nil {
+			continue
+		}
+		var path []string
+		var dfs func(cur string)
+		dfs = func(cur string) {
+			for i, p := range path {
+				if p == cur {
+					cycle := append(append([]string(nil), path[i:]...), cur)
+					key := canonicalCycle(cycle)
+					if reported[key] {
+						return
+					}
+					missing := ""
+					for _, node := range cycle[:len(cycle)-1] {
+						if !hasThis[node] {
+							missing = node
+							break
+						}
+					}
+					if missing == "" {
+						return // pair/ring annihilation idiom: fine
+					}
+					reported[key] = true
+					mm := itf.Method(missing)
+					pos := mm.Pos
+					if mm.Record != nil && mm.Record.AtPos.IsValid() {
+						pos = mm.Record.AtPos
+					}
+					out = append(out, Finding{
+						Check: "drop-cycle", Severity: Error,
+						File: s.Service, Line: pos.Line, Col: pos.Col,
+						Interface: itf.Name, Method: missing,
+						Message: fmt.Sprintf("drop cycle %s shadows state without pair annihilation: %s omits `this` from its drop list",
+							strings.Join(cycle, " -> "), missing),
+					})
+					return
+				}
+			}
+			path = append(path, cur)
+			for _, next := range adj[cur] {
+				dfs(next)
+			}
+			path = path[:len(path)-1]
+		}
+		dfs(m.Name)
+	}
+	return out
+}
+
+// canonicalCycle keys a cycle independent of its starting node.
+func canonicalCycle(cycle []string) string {
+	nodes := append([]string(nil), cycle[:len(cycle)-1]...)
+	sort.Strings(nodes)
+	return strings.Join(nodes, ",")
+}

@@ -1,0 +1,266 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+
+	"flux/internal/aidl"
+)
+
+// analyze runs AnalyzeSpecs over one parsed interface with no proxy
+// resolver.
+func analyze(t *testing.T, src string) []Finding {
+	t.Helper()
+	itf, err := aidl.Parse(src)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	return AnalyzeSpecs([]SpecSource{{Service: "svc", Itf: itf}}, SpecConfig{})
+}
+
+// findAll returns the findings carrying the given check name.
+func findAll(fs []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// wantOne asserts exactly one finding of the check fires, at the given
+// source position, and returns it.
+func wantOne(t *testing.T, fs []Finding, check string, line, col int) Finding {
+	t.Helper()
+	got := findAll(fs, check)
+	if len(got) != 1 {
+		t.Fatalf("want exactly 1 %s finding, got %d: %v", check, len(got), fs)
+	}
+	f := got[0]
+	if f.Line != line || f.Col != col {
+		t.Fatalf("%s fired at %d:%d, want %d:%d (%s)", check, f.Line, f.Col, line, col, f.Message)
+	}
+	return f
+}
+
+// Seeded mutations: each spec below injects exactly one decoration bug
+// and the test asserts the corresponding check fires at the precise
+// position of the offending token.
+
+func TestSpecNoRecord(t *testing.T) {
+	fs := analyze(t, "interface I {\n\tvoid mutate(int x);\n\tint query();\n}\n")
+	f := wantOne(t, fs, "no-record", 2, 7) // position of `mutate`
+	if f.Severity != Warn || f.Method != "mutate" {
+		t.Fatalf("no-record = %+v", f)
+	}
+	// The int-returning query is not flagged.
+	for _, f := range fs {
+		if f.Method == "query" {
+			t.Fatalf("query wrongly flagged: %+v", f)
+		}
+	}
+}
+
+func TestSpecSelfShadowLiteralName(t *testing.T) {
+	// Line 2: `@record { @drop cancel; }` — col of `cancel` is 18.
+	fs := analyze(t, "interface I {\n\t@record { @drop cancel; }\n\tvoid cancel(int id);\n}\n")
+	f := wantOne(t, fs, "self-shadow", 2, 18)
+	if !strings.Contains(f.Message, "`this`") {
+		t.Fatalf("message should point at the this keyword: %s", f.Message)
+	}
+}
+
+func TestSpecSelfShadowDuplicateTarget(t *testing.T) {
+	fs := analyze(t, "interface I {\n\t@record { @drop this, other, other; }\n\tvoid set(int id);\n\t@record\n\tvoid other(int id);\n}\n")
+	f := wantOne(t, fs, "self-shadow", 2, 31) // second `other`
+	if !strings.Contains(f.Message, "more than once") {
+		t.Fatalf("message = %s", f.Message)
+	}
+}
+
+func TestSpecDeadDrop(t *testing.T) {
+	// `other` exists but is never @record'ed: the drop rule can never
+	// match a log entry.
+	fs := analyze(t, "interface I {\n\t@record { @drop other; }\n\tvoid set(int id);\n\tvoid other(int id);\n}\n")
+	f := wantOne(t, fs, "dead-drop", 2, 18)
+	if f.Method != "set" || !strings.Contains(f.Message, "other") {
+		t.Fatalf("dead-drop = %+v", f)
+	}
+}
+
+func TestSpecGuardTypeParcelable(t *testing.T) {
+	// @if over a parcelable argument: ArgString comparison is lossy.
+	fs := analyze(t, "interface I {\n\t@record { @drop this; @if intent; }\n\tvoid send(in Intent intent);\n}\n")
+	f := wantOne(t, fs, "guard-type", 2, 28) // `intent` in the @if
+	if !strings.Contains(f.Message, "parcelable") {
+		t.Fatalf("guard-type = %s", f.Message)
+	}
+}
+
+func TestSpecGuardTypeBinderAndFD(t *testing.T) {
+	for _, tc := range []struct{ typ, frag string }{
+		{"IBinder", "IBinder"},
+		{"ParcelFileDescriptor", "ParcelFileDescriptor"},
+	} {
+		fs := analyze(t, "interface I {\n\t@record { @drop this; @if tok; }\n\tvoid send("+tc.typ+" tok);\n}\n")
+		got := findAll(fs, "guard-type")
+		if len(got) != 1 || !strings.Contains(got[0].Message, tc.frag) {
+			t.Fatalf("%s: guard-type findings = %v", tc.typ, got)
+		}
+	}
+	// Comparable guard types stay clean.
+	for _, typ := range []string{"int", "long", "boolean", "String"} {
+		fs := analyze(t, "interface I {\n\t@record { @drop this; @if v; }\n\tvoid send("+typ+" v);\n}\n")
+		if got := findAll(fs, "guard-type"); len(got) != 0 {
+			t.Fatalf("%s wrongly flagged: %v", typ, got)
+		}
+	}
+}
+
+func TestSpecGuardTypeMismatchAcrossTarget(t *testing.T) {
+	// `id` is int on the decorated method but long on the drop target:
+	// the canonical renderings ("i:…" vs "l:…") never compare equal.
+	fs := analyze(t, "interface I {\n\t@record\n\tvoid add(long id);\n\t@record { @drop add; @if id; }\n\tvoid remove(int id);\n}\n")
+	f := wantOne(t, fs, "guard-type-mismatch", 4, 27)
+	if !strings.Contains(f.Message, "add") {
+		t.Fatalf("message = %s", f.Message)
+	}
+}
+
+func TestSpecOrphanGuard(t *testing.T) {
+	fs := analyze(t, "interface I {\n\t@record { @if id; }\n\tvoid set(int id);\n}\n")
+	f := wantOne(t, fs, "orphan-guard", 2, 2) // the @ of @record
+	if f.Method != "set" {
+		t.Fatalf("orphan-guard = %+v", f)
+	}
+}
+
+func TestSpecDropCycleWithoutThis(t *testing.T) {
+	// enable/disable drop each other but neither drops `this`: state
+	// shadows in call-order-dependent ways instead of annihilating.
+	fs := analyze(t, `interface I {
+	@record { @drop disable; }
+	void enable(int id);
+	@record { @drop enable; }
+	void disable(int id);
+}
+`)
+	got := findAll(fs, "drop-cycle")
+	if len(got) != 1 {
+		t.Fatalf("want 1 drop-cycle finding, got %v", fs)
+	}
+	// The pair-annihilation idiom (this on every edge) is clean.
+	fs = analyze(t, `interface I {
+	@record { @drop this, disable; }
+	void enable(int id);
+	@record { @drop this, enable; }
+	void disable(int id);
+}
+`)
+	if got := findAll(fs, "drop-cycle"); len(got) != 0 {
+		t.Fatalf("annihilation idiom wrongly flagged: %v", got)
+	}
+}
+
+func TestSpecOnewayOutParam(t *testing.T) {
+	fs := analyze(t, "interface I {\n\t@record\n\toneway void fire(int id, out Bundle result);\n}\n")
+	f := wantOne(t, fs, "oneway-conflict", 3, 38) // `result`
+	if !strings.Contains(f.Message, "result") {
+		t.Fatalf("oneway-conflict = %s", f.Message)
+	}
+}
+
+func TestSpecProxyChecks(t *testing.T) {
+	src := "interface I {\n\t@record { @drop this; @replayproxy flux.recordreplay.Proxies.ghost; }\n\toneway void fire(int id);\n}\n"
+	itf := aidl.MustParse(src)
+	specs := []SpecSource{{Service: "svc", Itf: itf}}
+
+	// Unregistered path.
+	fs := AnalyzeSpecs(specs, SpecConfig{Proxies: func(string) ProxyInfo { return ProxyInfo{} }})
+	f := wantOne(t, fs, "proxy-unresolved", 2, 37)
+	if !strings.Contains(f.Message, "ghost") {
+		t.Fatalf("proxy-unresolved = %s", f.Message)
+	}
+
+	// Registered but reply-dependent on a oneway method.
+	fs = AnalyzeSpecs(specs, SpecConfig{Proxies: func(string) ProxyInfo {
+		return ProxyInfo{Registered: true, NeedsReply: true}
+	}})
+	if got := findAll(fs, "oneway-conflict"); len(got) != 1 {
+		t.Fatalf("want oneway-conflict for reply-dependent proxy, got %v", fs)
+	}
+
+	// Registered, reply-free: clean.
+	fs = AnalyzeSpecs(specs, SpecConfig{Proxies: func(string) ProxyInfo {
+		return ProxyInfo{Registered: true}
+	}})
+	for _, check := range []string{"proxy-unresolved", "oneway-conflict"} {
+		if got := findAll(fs, check); len(got) != 0 {
+			t.Fatalf("%s wrongly fired: %v", check, got)
+		}
+	}
+	// No resolver: proxy checks disabled entirely.
+	fs = AnalyzeSpecs(specs, SpecConfig{})
+	if got := findAll(fs, "proxy-unresolved"); len(got) != 0 {
+		t.Fatalf("nil resolver should disable proxy checks: %v", got)
+	}
+}
+
+func TestSpecUnknownTargetsProgrammatic(t *testing.T) {
+	// The parser rejects unknown @drop/@if names at parse time, so these
+	// only arise in programmatically built specs — which vet must still
+	// defend against.
+	itf := &aidl.Interface{Name: "I", Methods: []*aidl.Method{
+		{
+			Name: "set", Returns: aidl.TypeVoid, Code: 1,
+			Params: []aidl.Param{{Name: "id", Type: aidl.TypeInt, In: true}},
+			Record: &aidl.RecordSpec{
+				DropMethods: []string{"nosuch"},
+				Signatures:  [][]string{{"ghostArg"}},
+			},
+		},
+	}}
+	fs := AnalyzeSpecs([]SpecSource{{Service: "svc", Itf: itf}}, SpecConfig{})
+	got := findAll(fs, "unknown-target")
+	if len(got) != 2 {
+		t.Fatalf("want unknown-target for both the drop and the guard, got %v", fs)
+	}
+}
+
+func TestWaiverApplyAndStaleness(t *testing.T) {
+	fs := analyze(t, "interface I {\n\t@record { @drop this; @if intent; }\n\tvoid send(in Intent intent);\n}\n")
+	if len(findAll(fs, "guard-type")) != 1 {
+		t.Fatalf("fixture should produce one guard-type finding: %v", fs)
+	}
+
+	// A matching waiver removes the finding.
+	waived := Apply(fs, []Waiver{{Check: "guard-type", Interface: "I", Method: "send", Reason: "test"}})
+	if len(waived) != 0 {
+		t.Fatalf("waiver did not apply: %v", waived)
+	}
+
+	// A wildcard method waiver also matches.
+	waived = Apply(fs, []Waiver{{Check: "guard-type", Interface: "I", Method: "*", Reason: "test"}})
+	if len(waived) != 0 {
+		t.Fatalf("wildcard waiver did not apply: %v", waived)
+	}
+
+	// A waiver matching nothing surfaces as a stale-waiver warning, so
+	// the policy list cannot drift from the specs silently.
+	waived = Apply(nil, []Waiver{{Check: "guard-type", Interface: "I", Method: "gone", Reason: "test"}})
+	if len(waived) != 1 || waived[0].Check != "stale-waiver" || waived[0].Severity != Warn {
+		t.Fatalf("stale waiver not reported: %v", waived)
+	}
+}
+
+func TestFindingStringFormat(t *testing.T) {
+	f := Finding{Check: "guard-type", Severity: Error, File: "alarm", Line: 3, Col: 7,
+		Interface: "IAlarmManager", Method: "set", Message: "boom"}
+	s := f.String()
+	for _, frag := range []string{"alarm:3:7", "error", "[guard-type]", "IAlarmManager.set", "boom"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("Finding.String() %q missing %q", s, frag)
+		}
+	}
+}

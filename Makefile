@@ -10,13 +10,15 @@
 #                    rsyncx benchmarks plus the streamed-vs-sequential matrix
 #   make bench-faults  fault matrix: recovery rate and overhead at the
 #                    headline (15%) and hostile (75%) chunk fault rates
+#   make bench-commuter  delta-migration commuter scenario: 8 round trips
+#                    per pair at 10% dirty rate, writes BENCH_commuter.json
 #   make results     regenerate every figure and write BENCH_results.json
 #   make trace-demo  run one telemetry-enabled migration and write a
 #                    sample Chrome trace (trace-demo.json) + stage report
 
 GO ?= go
 
-.PHONY: all verify vet lint build test race bench bench-pipeline bench-faults results trace-demo clean
+.PHONY: all verify vet lint build test race bench bench-pipeline bench-faults bench-commuter results trace-demo clean
 
 all: verify
 
@@ -43,9 +45,10 @@ test:
 # evaluation driver, the telemetry ring/registry, the span-instrumented
 # migration pipeline (including its fault-recovery retry paths), the
 # concurrent fault injector, the parallel image marshaller, and the
-# memoized sync trees are only correct if they are race-clean.
+# memoized sync trees, and the mutex-guarded chunk store are only correct
+# if they are race-clean.
 race:
-	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/ ./internal/faults/
+	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/ ./internal/faults/ ./internal/chunkstore/
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/record/
@@ -69,6 +72,12 @@ bench-faults:
 	$(GO) run ./cmd/fluxbench -faults -fault-rate 0.15 -json ""
 	$(GO) run ./cmd/fluxbench -faults -fault-rate 0.75 -json ""
 
+# The commuter scenario behind the delta-migration acceptance bar: K=8
+# round trips per device pair with 10% of the heap dirtied between hops;
+# hops 2+ must ship at most 25% of hop 1's bytes.
+bench-commuter:
+	$(GO) run ./cmd/fluxbench -commuter -json BENCH_commuter.json
+
 results:
 	$(GO) run ./cmd/fluxbench -all -json BENCH_results.json
 
@@ -79,4 +88,4 @@ trace-demo:
 	$(GO) run ./cmd/fluxstat -app com.king.candycrushsaga -trace trace-demo.json
 
 clean:
-	rm -f BENCH_results.json trace-demo.json
+	rm -f BENCH_results.json BENCH_commuter.json trace-demo.json

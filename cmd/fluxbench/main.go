@@ -19,6 +19,8 @@
 //	fluxbench -pipeline            # streaming pipeline vs sequential matrix
 //	fluxbench -faults              # fault matrix: recovery rate + overhead
 //	fluxbench -faults -fault-rate 0.35 -fault-seed 7   # hostile link sweep point
+//	fluxbench -commuter -json BENCH_commuter.json      # delta-migration commuter scenario
+//	fluxbench -commuter -hops 4 -dirty 0.25 -cache-budget 4194304   # custom itinerary
 //
 // The 64-migration evaluation matrix runs on a bounded worker pool
 // (-workers, default: one per CPU); its output is byte-identical for any
@@ -54,6 +56,11 @@ func main() {
 		faultsRun  = flag.Bool("faults", false, "run the 64-migration matrix under fault injection, report recovery rate and overhead")
 		faultRate  = flag.Float64("fault-rate", 0.15, "per-chunk fault probability for -faults")
 		faultSeed  = flag.Int64("fault-seed", 1, "base injector seed for -faults (per-cell seeds derive from it)")
+		commuter   = flag.Bool("commuter", false, "run the delta-migration commuter scenario across the four device pairs")
+		hops       = flag.Int("hops", 8, "round trips per pair for -commuter")
+		dirty      = flag.Float64("dirty", 0.10, "fraction of heap dirtied between hops for -commuter")
+		budget     = flag.Int64("cache-budget", 0, "per-device chunk-store byte budget for -commuter (0 = unbounded)")
+		pipelinedC = flag.Bool("commuter-pipelined", false, "stream every commuter hop through the chunked pipeline")
 		all        = flag.Bool("all", false, "everything, in paper order")
 		benchIters = flag.Int("bench-iters", 2000, "iterations per Figure 16 benchmark")
 		playN      = flag.Int("play-n", 488259, "Figure 17 catalog size")
@@ -65,7 +72,12 @@ func main() {
 	if *tracePath != "" {
 		obs.SetEnabled(true)
 	}
-	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *pipeline, *all, *benchIters, *playN, *workers, *jsonPath, *faultsRun, *faultRate, *faultSeed); err != nil {
+	commuterSpec := experiments.DefaultCommuterSpec()
+	commuterSpec.RoundTrips = *hops
+	commuterSpec.DirtyRate = *dirty
+	commuterSpec.CacheBudget = *budget
+	commuterSpec.Pipelined = *pipelinedC
+	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *pipeline, *all, *benchIters, *playN, *workers, *jsonPath, *faultsRun, *faultRate, *faultSeed, *commuter, commuterSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxbench:", err)
 		os.Exit(1)
 	}
@@ -80,7 +92,7 @@ func main() {
 	}
 }
 
-func run(table, fig int, pairing, failures, summary, ablations, pipeline, all bool, benchIters, playN, workers int, jsonPath string, faultsRun bool, faultRate float64, faultSeed int64) error {
+func run(table, fig int, pairing, failures, summary, ablations, pipeline, all bool, benchIters, playN, workers int, jsonPath string, faultsRun bool, faultRate float64, faultSeed int64, commuter bool, commuterSpec experiments.CommuterSpec) error {
 	w := os.Stdout
 	if workers < 1 {
 		workers = experiments.DefaultMatrixWorkers()
@@ -241,6 +253,19 @@ func run(table, fig int, pairing, failures, summary, ablations, pipeline, all bo
 			if err == nil {
 				fmt.Fprintf(w, "(faults: clean + faulted matrix on %d workers in %.2fs wall-clock)\n",
 					workers, time.Since(start).Seconds())
+			}
+			return m, err
+		}); err != nil {
+			return err
+		}
+	}
+	if commuter {
+		if err := timed("commuter", func() (map[string]float64, error) {
+			start := time.Now()
+			m, err := experiments.Commuter(w, workers, commuterSpec)
+			if err == nil {
+				fmt.Fprintf(w, "(commuter: %d hops per pair on %d workers in %.2fs wall-clock)\n",
+					2*commuterSpec.RoundTrips, workers, time.Since(start).Seconds())
 			}
 			return m, err
 		}); err != nil {

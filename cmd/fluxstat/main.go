@@ -11,11 +11,18 @@
 //	fluxstat -app com.king.candycrushsaga -from nexus4 -to nexus7-2013
 //	fluxstat -app com.whatsapp -trace whatsapp.json
 //	fluxstat -app com.whatsapp -pipeline
+//	fluxstat -app com.whatsapp -cache
 //
 // -pipeline runs the migration as a streamed pipeline
 // (migration.Options.Pipelined) and renders the per-chunk
 // checkpoint/compress/transfer/restore lanes as a text gantt, built from
 // the "pipeline.chunk" instant spans the migration emits.
+//
+// -cache enables delta migration (migration.Options.Cache) and runs a
+// round trip — home → guest, then back — printing a per-hop cache
+// column: digest hits, misses, rolling-delta hits, and the wire bytes
+// the cache kept off the air. The flamegraph and stage cross-check
+// cover the first hop.
 package main
 
 import (
@@ -39,10 +46,11 @@ func main() {
 		to        = flag.String("to", "nexus7-2013", "guest device model")
 		tracePath = flag.String("trace", "", "also write the span tree as Chrome trace-event JSON")
 		pipelined = flag.Bool("pipeline", false, "stream the migration and render per-chunk pipeline lanes")
+		cache     = flag.Bool("cache", false, "enable delta migration and print the per-hop cache column over a round trip")
 	)
 	flag.Parse()
 	obs.SetEnabled(true)
-	if err := run(*appPkg, *from, *to, *tracePath, *pipelined); err != nil {
+	if err := run(*appPkg, *from, *to, *tracePath, *pipelined, *cache); err != nil {
 		fmt.Fprintln(os.Stderr, "fluxstat:", err)
 		os.Exit(1)
 	}
@@ -60,7 +68,7 @@ func profileByName(name, instance string) (device.Profile, error) {
 	return device.Profile{}, fmt.Errorf("unknown device %q (nexus4, nexus7-2012, nexus7-2013)", name)
 }
 
-func run(appPkg, from, to, tracePath string, pipelined bool) error {
+func run(appPkg, from, to, tracePath string, pipelined, cache bool) error {
 	homeProfile, err := profileByName(from, "home-"+from)
 	if err != nil {
 		return err
@@ -90,7 +98,13 @@ func run(appPkg, from, to, tracePath string, pipelined bool) error {
 	if _, err := flux.LaunchApp(home, *app); err != nil {
 		return err
 	}
-	rep, err := flux.Migrate(home, guest, appPkg, flux.MigrateOptions{Pipelined: pipelined})
+	opts := flux.MigrateOptions{Pipelined: pipelined}
+	var homeStore, guestStore *flux.ChunkStore
+	if cache {
+		homeStore, guestStore = flux.NewChunkStore(0), flux.NewChunkStore(0)
+		opts.Cache, opts.SourceCache = guestStore, homeStore
+	}
+	rep, err := flux.Migrate(home, guest, appPkg, opts)
 	if err != nil {
 		return err
 	}
@@ -106,6 +120,20 @@ func run(appPkg, from, to, tracePath string, pipelined bool) error {
 	}
 	if err := printStageCheck(spans, rep); err != nil {
 		return err
+	}
+	if cache {
+		// The return hop hits the stores the first hop populated.
+		back, err := flux.Migrate(guest, home, appPkg, flux.MigrateOptions{
+			Pipelined: pipelined, Cache: homeStore, SourceCache: guestStore,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		printCacheColumn([]hopCache{
+			{"hop 1 (fwd)", rep},
+			{"hop 2 (back)", back},
+		})
 	}
 	if tracePath != "" {
 		if err := obs.T().WriteChromeTraceFile(tracePath); err != nil {
@@ -135,9 +163,10 @@ func printFlame(spans []obs.SpanData) {
 	const barWidth = 32
 	fmt.Printf("%-44s %12s  %s\n", "SPAN", "VIRTUAL", "SHARE")
 	for _, s := range spans {
-		if s.Name == migration.SpanPipelineChunk {
-			// Dozens of instant chunk spans per pipelined run; they get
-			// their own gantt rendering instead of flamegraph rows.
+		if s.Name == migration.SpanPipelineChunk || s.Name == migration.SpanCacheLookup {
+			// Dozens of instant per-chunk spans per run; chunk lanes get
+			// their own gantt rendering and cache lookups their own table
+			// instead of flamegraph rows.
 			continue
 		}
 		ind := strings.Repeat("  ", depth[s.ID])
@@ -288,6 +317,26 @@ func printChunkLanes(spans []obs.SpanData) {
 			ws = "|"
 		}
 		fmt.Printf("%5d %-10s %9d %s%s\n", r.idx, r.kind, r.wire, ws, string(row))
+	}
+}
+
+// hopCache pairs a hop label with its report for the cache column.
+type hopCache struct {
+	label string
+	rep   *migration.Report
+}
+
+// printCacheColumn renders the delta-migration cache accounting per hop:
+// full digest hits, misses, rolling-delta hits, poisoned entries, and
+// the wire bytes the cache kept off the air.
+func printCacheColumn(hops []hopCache) {
+	fmt.Printf("%-14s %6s %8s %8s %9s %13s %13s\n",
+		"CACHE", "HITS", "MISSES", "ROLLING", "POISONED", "NOT SHIPPED", "TRANSFERRED")
+	for _, h := range hops {
+		r := h.rep
+		fmt.Printf("%-14s %6d %8d %8d %9d %11.2fMB %11.2fMB\n",
+			h.label, r.CacheHits, r.CacheMisses, r.CacheRollingHits, r.CachePoisoned,
+			float64(r.CacheBytesNotShipped)/(1<<20), float64(r.TransferredBytes)/(1<<20))
 	}
 }
 

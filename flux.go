@@ -34,6 +34,7 @@ import (
 
 	"flux/internal/android"
 	"flux/internal/apps"
+	"flux/internal/chunkstore"
 	"flux/internal/device"
 	"flux/internal/experiments"
 	"flux/internal/faults"
@@ -128,6 +129,45 @@ func NewFaultInjector(seed int64, plan FaultPlan) *FaultInjector {
 // retries: the guest's partial state was discarded and the home device
 // foregrounded the intact app. No state is lost.
 var ErrRolledBack = migration.ErrRolledBack
+
+// Delta migration (DESIGN.md §5g): each device of a pair keeps a
+// content-addressed chunk store; a migration with MigrateOptions.Cache
+// set opens with a digest negotiation and ships only the chunks the
+// receiver does not already hold, falling back to a rolling delta for
+// chunks that merely shifted.
+type (
+	// ChunkStore is a per-pair, per-device content-addressed cache of
+	// migration chunks keyed by SHA-256, with LRU eviction under a byte
+	// budget. Set one on MigrateOptions.Cache (receiver) and
+	// MigrateOptions.SourceCache (sender); a nil store — the default —
+	// disables delta migration entirely.
+	ChunkStore = chunkstore.Store
+	// ChunkStoreStats counts a store's hits, misses, evictions, and the
+	// wire bytes its hits kept off the air.
+	ChunkStoreStats = chunkstore.Stats
+	// CommuterSpec configures the commuter scenario: K round trips per
+	// device pair with a deterministic dirty step between hops.
+	CommuterSpec = experiments.CommuterSpec
+	// CommuterRun is one device pair's commuter itinerary with per-hop
+	// reports.
+	CommuterRun = experiments.CommuterRun
+)
+
+// NewChunkStore builds a chunk store with the given LRU byte budget;
+// budget <= 0 leaves the store unbounded.
+func NewChunkStore(budget int64) *ChunkStore { return chunkstore.New(budget) }
+
+// DefaultCommuterSpec is the headline commuter configuration: 8 round
+// trips, 10% dirty rate between hops, unbounded stores.
+func DefaultCommuterSpec() CommuterSpec { return experiments.DefaultCommuterSpec() }
+
+// RunCommuter drives the commuter scenario across the four evaluation
+// device pairs on a workers-wide pool, writes the per-pair table to w,
+// and returns the aggregate metrics (hop-1 vs steady-state wire bytes,
+// cache hit ratio, bytes kept off the wire).
+func RunCommuter(w io.Writer, workers int, spec CommuterSpec) (map[string]float64, error) {
+	return experiments.Commuter(w, workers, spec)
+}
 
 // RetryPolicy bounds fault recovery (MigrateOptions.Retry); its zero
 // value selects the defaults.

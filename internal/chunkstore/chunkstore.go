@@ -1,0 +1,219 @@
+// Package chunkstore is the guest-side content-addressed chunk cache of
+// Flux's delta-migration layer (DESIGN.md §5g).
+//
+// A commuter bounces an app phone→tablet→phone all day; after the first
+// hop most CRIA chunk bytes already sit on the other device. The
+// migration negotiation (internal/migration/delta.go) asks this store,
+// per chunk digest, whether the peer already holds the content: hits skip
+// the wire entirely, near-misses (the previous content generation of the
+// same chunk) take the rsyncx rolling-delta path, and everything shipped
+// is Put back so the next hop in either direction benefits.
+//
+// Design constraints, in order:
+//
+//   - Deterministic. Eviction order is a pure function of the operation
+//     sequence: recency is a monotonic use-counter, not wall-clock time,
+//     so the store is clean under the repo's virtual-clock and maprange
+//     source invariants (fluxvet) and byte-identical at any worker-pool
+//     width. Same seed + same budget ⇒ identical eviction order (tested).
+//   - Bounded. A byte budget caps resident content; least-recently-used
+//     entries evict first.
+//   - Accounted. Hits, misses, evictions, invalidations, and the wire
+//     bytes the cache kept off the air are all counted for the
+//     flux_migration_cache_* metrics and the commuter experiment.
+//
+// The store holds chunk *identities and sizes*, not payload bytes — the
+// simulation's substitution rule carries segment content as (size,
+// entropy) descriptors, so caching the digest is caching the content.
+package chunkstore
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// Digest is a chunk's SHA-256 content identity (cria.Chunk.Digest).
+type Digest = [sha256.Size]byte
+
+// Stats is the store's lifetime accounting.
+type Stats struct {
+	// Hits counts lookups that found the digest resident.
+	Hits int
+	// Misses counts lookups that did not.
+	Misses int
+	// Puts counts insertions (including refreshes of resident entries).
+	Puts int
+	// Evictions counts entries dropped by the byte budget.
+	Evictions int
+	// Invalidations counts entries dropped explicitly (poisoned content).
+	Invalidations int
+	// BytesNotShipped sums the wire bytes of every hit — the transfer
+	// the cache kept off the air.
+	BytesNotShipped int64
+}
+
+// entry is one resident chunk.
+type entry struct {
+	digest Digest
+	// raw is the chunk's uncompressed size (the budget currency: resident
+	// content occupies raw bytes on the device).
+	raw int64
+	// wire is the chunk's on-the-wire size, remembered for eviction
+	// accounting.
+	wire int64
+	elem *list.Element
+}
+
+// Store is a per-device, per-pair content-addressed chunk cache with LRU
+// byte-budget eviction. Safe for concurrent use; every operation is a
+// pure function of the serialized operation order.
+type Store struct {
+	mu      sync.Mutex
+	budget  int64
+	size    int64
+	entries map[Digest]*entry
+	// lru orders entries most-recently-used first; eviction pops the
+	// back. Recency is the operation sequence itself — no clocks.
+	lru   *list.List
+	stats Stats
+	// onEvict, when set (tests, telemetry), observes every eviction in
+	// order with the entry's digest and raw size.
+	onEvict func(Digest, int64)
+}
+
+// New builds a store with a raw-byte budget; budget <= 0 means unbounded.
+func New(budget int64) *Store {
+	return &Store{
+		budget:  budget,
+		entries: make(map[Digest]*entry),
+		lru:     list.New(),
+	}
+}
+
+// SetOnEvict installs an eviction observer (called with the store lock
+// held; keep it cheap). Tests use it to assert deterministic eviction
+// order.
+func (s *Store) SetOnEvict(fn func(d Digest, raw int64)) {
+	s.mu.Lock()
+	s.onEvict = fn
+	s.mu.Unlock()
+}
+
+// Budget returns the configured raw-byte budget (<= 0: unbounded).
+func (s *Store) Budget() int64 { return s.budget }
+
+// Len returns the resident entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// SizeBytes returns the resident raw bytes.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Stats returns a copy of the lifetime counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Lookup asks whether the digest is resident. A hit refreshes the
+// entry's recency and credits wire to BytesNotShipped (the caller passes
+// the bytes this hit kept off the air); a miss only counts. Nil-safe:
+// a nil store misses everything without counting.
+func (s *Store) Lookup(d Digest, wire int64) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[d]
+	if !ok {
+		s.stats.Misses++
+		return false
+	}
+	s.lru.MoveToFront(e.elem)
+	s.stats.Hits++
+	if wire > 0 {
+		s.stats.BytesNotShipped += wire
+	}
+	return true
+}
+
+// Contains reports residency without touching recency or counters — the
+// negotiation uses it to probe previous-generation digests for the
+// rolling-delta fallback without skewing hit accounting. Nil-safe.
+func (s *Store) Contains(d Digest) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[d]
+	return ok
+}
+
+// Put inserts (or refreshes) a chunk identity of raw uncompressed bytes
+// and wire on-the-wire bytes, then evicts least-recently-used entries
+// until the budget holds. The inserted entry is most-recent, so it is
+// evicted only if it alone exceeds the whole budget. Nil-safe no-op.
+func (s *Store) Put(d Digest, raw, wire int64) {
+	if s == nil {
+		return
+	}
+	if raw < 0 {
+		raw = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+	if e, ok := s.entries[d]; ok {
+		s.size += raw - e.raw
+		e.raw, e.wire = raw, wire
+		s.lru.MoveToFront(e.elem)
+	} else {
+		e := &entry{digest: d, raw: raw, wire: wire}
+		e.elem = s.lru.PushFront(e)
+		s.entries[d] = e
+		s.size += raw
+	}
+	if s.budget > 0 {
+		for s.size > s.budget && s.lru.Len() > 0 {
+			s.evictLocked(s.lru.Back().Value.(*entry))
+			s.stats.Evictions++
+		}
+	}
+}
+
+// Invalidate drops a digest (poisoned or superseded content); reports
+// whether it was resident. Nil-safe.
+func (s *Store) Invalidate(d Digest) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[d]
+	if !ok {
+		return false
+	}
+	s.evictLocked(e)
+	s.stats.Invalidations++
+	return true
+}
+
+func (s *Store) evictLocked(e *entry) {
+	s.lru.Remove(e.elem)
+	delete(s.entries, e.digest)
+	s.size -= e.raw
+	if s.onEvict != nil {
+		s.onEvict(e.digest, e.raw)
+	}
+}

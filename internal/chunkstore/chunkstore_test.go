@@ -1,0 +1,178 @@
+package chunkstore
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func dig(i int) Digest {
+	return sha256.Sum256([]byte(fmt.Sprintf("chunk-%d", i)))
+}
+
+func TestLookupPutBasics(t *testing.T) {
+	s := New(0) // unbounded
+	d := dig(1)
+	if s.Lookup(d, 100) {
+		t.Fatal("lookup on empty store hit")
+	}
+	s.Put(d, 1000, 400)
+	if !s.Lookup(d, 400) {
+		t.Fatal("lookup after put missed")
+	}
+	if !s.Contains(d) {
+		t.Fatal("Contains after put false")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 put", st)
+	}
+	if st.BytesNotShipped != 400 {
+		t.Fatalf("BytesNotShipped = %d, want 400", st.BytesNotShipped)
+	}
+	if s.SizeBytes() != 1000 || s.Len() != 1 {
+		t.Fatalf("size=%d len=%d, want 1000/1", s.SizeBytes(), s.Len())
+	}
+}
+
+func TestContainsDoesNotCount(t *testing.T) {
+	s := New(0)
+	s.Put(dig(1), 10, 5)
+	s.Contains(dig(1))
+	s.Contains(dig(2))
+	st := s.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Contains skewed stats: %+v", st)
+	}
+}
+
+func TestBudgetEvictsLRU(t *testing.T) {
+	s := New(300)
+	var evicted []Digest
+	s.SetOnEvict(func(d Digest, raw int64) { evicted = append(evicted, d) })
+	s.Put(dig(1), 100, 50)
+	s.Put(dig(2), 100, 50)
+	s.Put(dig(3), 100, 50)
+	// Touch 1 so 2 becomes least-recently-used.
+	if !s.Lookup(dig(1), 0) {
+		t.Fatal("expected hit on 1")
+	}
+	s.Put(dig(4), 100, 50) // over budget: evict 2
+	if len(evicted) != 1 || evicted[0] != dig(2) {
+		t.Fatalf("evicted %v, want exactly dig(2)", evicted)
+	}
+	if s.Contains(dig(2)) {
+		t.Fatal("dig(2) still resident after eviction")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if !s.Contains(dig(i)) {
+			t.Fatalf("dig(%d) evicted unexpectedly", i)
+		}
+	}
+	if s.SizeBytes() != 300 {
+		t.Fatalf("size=%d, want 300", s.SizeBytes())
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestPutRefreshResizesAndTouches(t *testing.T) {
+	s := New(250)
+	s.Put(dig(1), 100, 50)
+	s.Put(dig(2), 100, 50)
+	s.Put(dig(1), 150, 80) // refresh: grows to 250, touches 1
+	if s.SizeBytes() != 250 || s.Len() != 2 {
+		t.Fatalf("size=%d len=%d, want 250/2", s.SizeBytes(), s.Len())
+	}
+	var evicted []Digest
+	s.SetOnEvict(func(d Digest, raw int64) { evicted = append(evicted, d) })
+	s.Put(dig(3), 50, 25) // 2 is now LRU and must go (then size 250)
+	if len(evicted) != 1 || evicted[0] != dig(2) {
+		t.Fatalf("evicted %v, want exactly dig(2)", evicted)
+	}
+}
+
+func TestOversizedEntryEvictsItself(t *testing.T) {
+	s := New(100)
+	s.Put(dig(1), 500, 200)
+	if s.Len() != 0 || s.SizeBytes() != 0 {
+		t.Fatalf("oversized entry stayed resident: len=%d size=%d", s.Len(), s.SizeBytes())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	s := New(0)
+	s.Put(dig(1), 100, 50)
+	if !s.Invalidate(dig(1)) {
+		t.Fatal("Invalidate on resident entry returned false")
+	}
+	if s.Invalidate(dig(1)) {
+		t.Fatal("Invalidate on absent entry returned true")
+	}
+	if s.Contains(dig(1)) || s.SizeBytes() != 0 {
+		t.Fatal("entry survived invalidation")
+	}
+	if st := s.Stats(); st.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestNilStoreIsSafe(t *testing.T) {
+	var s *Store
+	if s.Lookup(dig(1), 10) {
+		t.Fatal("nil store hit")
+	}
+	if s.Contains(dig(1)) {
+		t.Fatal("nil store contains")
+	}
+	s.Put(dig(1), 10, 5)
+	if s.Invalidate(dig(1)) {
+		t.Fatal("nil store invalidated")
+	}
+}
+
+// TestEvictionOrderDeterministic is the LRU determinism property test:
+// the same seeded operation sequence against the same budget must
+// produce an identical eviction order, every run, independent of map
+// iteration order or scheduling. This is what makes commuter reports
+// byte-identical at any worker-pool width.
+func TestEvictionOrderDeterministic(t *testing.T) {
+	run := func(seed int64, budget int64) ([]Digest, Stats) {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(budget)
+		var order []Digest
+		s.SetOnEvict(func(d Digest, raw int64) { order = append(order, d) })
+		for op := 0; op < 2000; op++ {
+			i := rng.Intn(64)
+			switch rng.Intn(4) {
+			case 0, 1:
+				s.Put(dig(i), int64(rng.Intn(900)+100), int64(rng.Intn(400)+50))
+			case 2:
+				s.Lookup(dig(i), int64(rng.Intn(400)))
+			case 3:
+				s.Invalidate(dig(i))
+			}
+		}
+		return order, s.Stats()
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		o1, st1 := run(seed, 8<<10)
+		o2, st2 := run(seed, 8<<10)
+		if len(o1) == 0 {
+			t.Fatalf("seed %d: property test exercised no evictions", seed)
+		}
+		if len(o1) != len(o2) {
+			t.Fatalf("seed %d: eviction counts differ: %d vs %d", seed, len(o1), len(o2))
+		}
+		for k := range o1 {
+			if o1[k] != o2[k] {
+				t.Fatalf("seed %d: eviction order diverges at %d", seed, k)
+			}
+		}
+		if st1 != st2 {
+			t.Fatalf("seed %d: stats diverge: %+v vs %+v", seed, st1, st2)
+		}
+	}
+}

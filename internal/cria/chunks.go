@@ -9,7 +9,14 @@ package cria
 // PayloadBytes / WireBytes byte-for-byte, which is what keeps the
 // pipelined and sequential migration reports size-identical.
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"flux/internal/kernel"
+)
 
 // ChunkKind labels what a wire chunk carries.
 type ChunkKind uint8
@@ -60,6 +67,25 @@ type Chunk struct {
 	Raw int64
 	// Wire is the chunk's on-the-wire (compressed) size.
 	Wire int64
+	// Digest is the chunk's content identity: SHA-256 over the chunk's
+	// uncompressed payload. Metadata and record-log chunks digest their
+	// actual serialized bytes; segment chunks — whose payload the
+	// simulation carries as (size, entropy) descriptors, never
+	// materialized — digest a canonical encoding of the segment's
+	// identity, content generation, and the chunk's position, which has
+	// the property the cache needs: equal iff the same bytes would be
+	// equal. The delta-migration negotiation keys the chunkstore on it.
+	Digest [sha256.Size]byte
+	// PrevDigest is the identity the same chunk position had one content
+	// generation ago (zero when the segment was never rewritten, and for
+	// metadata/record-log chunks). A peer caching PrevDigest but not
+	// Digest can take the rsyncx rolling-delta path instead of a full
+	// ship.
+	PrevDigest [sha256.Size]byte
+	// DirtyFrac is the fraction of the chunk rewritten between PrevDigest
+	// and Digest (the segment's last-generation rewrite fraction); it
+	// sizes the rolling delta's literal bytes.
+	DirtyFrac float64
 }
 
 // Chunks partitions the image into ordered wire chunks of at most
@@ -93,14 +119,16 @@ func (img *Image) Chunks(chunkBytes int64) ([]Chunk, error) {
 		if n > chunkBytes {
 			n = chunkBytes
 		}
-		add(Chunk{Kind: ChunkMetadata, Segment: -1, Raw: n, Wire: n})
+		add(Chunk{Kind: ChunkMetadata, Segment: -1, Raw: n, Wire: n,
+			Digest: sha256.Sum256(meta[off : off+n])})
 	}
 	for off := int64(0); off < int64(len(img.RecordLog)); off += chunkBytes {
 		n := int64(len(img.RecordLog)) - off
 		if n > chunkBytes {
 			n = chunkBytes
 		}
-		add(Chunk{Kind: ChunkRecordLog, Segment: -1, Raw: n, Wire: n})
+		add(Chunk{Kind: ChunkRecordLog, Segment: -1, Raw: n, Wire: n,
+			Digest: sha256.Sum256(img.RecordLog[off : off+n])})
 	}
 	for si, seg := range img.Segments {
 		size := seg.Size
@@ -114,6 +142,13 @@ func (img *Image) Chunks(chunkBytes int64) ([]Chunk, error) {
 			if n > chunkBytes {
 				n = chunkBytes
 			}
+			c := Chunk{Kind: ChunkSegment, Segment: si, Raw: n,
+				Digest:    segmentChunkDigest(seg, seg.Gen, cum, n),
+				DirtyFrac: seg.DirtyFrac,
+			}
+			if seg.Gen > 0 {
+				c.PrevDigest = segmentChunkDigest(seg, seg.Gen-1, cum, n)
+			}
 			cum += n
 			// Cumulative apportioning: wire_i = floor(C·cum_i/S) −
 			// floor(C·cum_{i−1}/S); the telescoping sum is exactly C.
@@ -121,9 +156,31 @@ func (img *Image) Chunks(chunkBytes int64) ([]Chunk, error) {
 			if cum == size {
 				compCum = comp // close out exactly despite float rounding
 			}
-			add(Chunk{Kind: ChunkSegment, Segment: si, Raw: n, Wire: compCum - compPrev})
+			c.Wire = compCum - compPrev
+			add(c)
 			compPrev = compCum
 		}
 	}
 	return chunks, nil
+}
+
+// segmentChunkDigest is the canonical content identity of one chunk of a
+// memory segment at a given content generation. The simulation never
+// materializes segment payloads, so the identity is synthesized from
+// everything that determines the (virtual) bytes: the segment's name,
+// kind, size, entropy, its content generation, and the chunk's offset and
+// length within it. Two chunks collide exactly when the simulated content
+// would be identical — which is the property the delta-migration cache
+// needs, and what a real implementation gets by hashing the page bytes.
+func segmentChunkDigest(seg kernel.MemSegment, gen uint64, off, n int64) [sha256.Size]byte {
+	buf := make([]byte, 0, len("flux.segchunk.v1")+len(seg.Name)+2+5*8)
+	buf = append(buf, "flux.segchunk.v1"...)
+	buf = append(buf, seg.Name...)
+	buf = append(buf, 0, byte(seg.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(seg.Size))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(seg.Entropy))
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(off))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	return sha256.Sum256(buf)
 }

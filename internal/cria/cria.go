@@ -89,6 +89,23 @@ type Image struct {
 	// marshal.go). Unexported fields are invisible to gob.
 	mu         sync.Mutex
 	cachedWire []byte
+	// contentDigests selects the FXC3 container revision: per-block
+	// SHA-256 content digests for the delta-migration chunk cache. Off by
+	// default so cache-disabled runs keep FXC2's exact wire bytes.
+	contentDigests bool
+}
+
+// SetContentDigests selects (or deselects) the FXC3 content-addressed
+// container revision for this image's Marshal output. Flipping it
+// invalidates any memoized serialization; call it before the first
+// WireBytes/Marshal on the migration hot path.
+func (img *Image) SetContentDigests(on bool) {
+	img.mu.Lock()
+	if img.contentDigests != on {
+		img.contentDigests = on
+		img.cachedWire = nil
+	}
+	img.mu.Unlock()
 }
 
 // ErrNonSystemConnection reports an app holding Binder connections to

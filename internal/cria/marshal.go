@@ -38,9 +38,10 @@ package cria
 import (
 	"bytes"
 	"compress/flate"
+	"crypto/sha256"
 	"encoding/binary"
-	"errors"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -54,12 +55,21 @@ import (
 )
 
 const (
-	// marshalMagic tags the current chunk-parallel container format:
+	// marshalMagic tags the default chunk-parallel container format:
 	// per-block CRC32 checksums between each block length and its bytes.
 	marshalMagic = "FXC2"
 	// marshalMagicV1 tags the checksum-less predecessor container;
 	// still decoded, never produced.
 	marshalMagicV1 = "FXC1"
+	// marshalMagicV3 tags the content-addressed container revision: each
+	// block carries, after its CRC32, a SHA-256 digest of the block's
+	// UNCOMPRESSED bytes. The digest is the block's content identity for
+	// the delta-migration chunk cache (internal/chunkstore); Unmarshal
+	// verifies it after inflating, so a poisoned cache entry whose framing
+	// still CRCs clean is caught deterministically. Produced only when the
+	// image opted in via SetContentDigests — FXC2 stays the default so
+	// cache-disabled runs are byte-identical to before.
+	marshalMagicV3 = "FXC3"
 	// marshalCoreBlockBytes is the raw gob bytes per parallel-compressed
 	// core block. Fixed (not GOMAXPROCS-derived) so the container bytes
 	// are machine-independent.
@@ -263,8 +273,10 @@ func (img *Image) marshalLocked() ([]byte, error) {
 	// One job per core block and per segment shard; a GOMAXPROCS-bounded
 	// worker pool fills indexed slots so assembly order — and therefore
 	// the output bytes — is deterministic at any parallelism.
+	digests := img.contentDigests
 	type slot struct {
 		comp []byte
+		sum  [sha256.Size]byte
 		err  error
 	}
 	slots := make([]slot, nCoreBlocks+len(shards))
@@ -288,6 +300,9 @@ func (img *Image) marshalLocked() ([]byte, error) {
 					if hi > len(coreRaw) {
 						hi = len(coreRaw)
 					}
+					if digests {
+						slots[i].sum = sha256.Sum256(coreRaw[lo:hi])
+					}
 					slots[i].comp, slots[i].err = deflate(coreRaw[lo:hi])
 					continue
 				}
@@ -298,6 +313,9 @@ func (img *Image) marshalLocked() ([]byte, error) {
 					slots[i].err = err
 					bufPool.Put(sb)
 					continue
+				}
+				if digests {
+					slots[i].sum = sha256.Sum256(sb.Bytes())
 				}
 				slots[i].comp, slots[i].err = deflate(sb.Bytes())
 				bufPool.Put(sb)
@@ -312,7 +330,11 @@ func (img *Image) marshalLocked() ([]byte, error) {
 	bufPool.Put(coreBuf) // coreRaw no longer referenced past this point
 
 	out := make([]byte, 0, 4+16)
-	out = append(out, marshalMagic...)
+	magic := marshalMagic
+	if digests {
+		magic = marshalMagicV3
+	}
+	out = append(out, magic...)
 	out = binary.AppendUvarint(out, uint64(nCoreBlocks))
 	out = binary.AppendUvarint(out, uint64(len(shards)))
 	for i := range slots {
@@ -321,6 +343,9 @@ func (img *Image) marshalLocked() ([]byte, error) {
 		}
 		out = binary.AppendUvarint(out, uint64(len(slots[i].comp)))
 		out = binary.LittleEndian.AppendUint32(out, blockChecksum(slots[i].comp))
+		if digests {
+			out = append(out, slots[i].sum[:]...)
+		}
 		out = append(out, slots[i].comp...)
 	}
 	return out, nil
@@ -342,14 +367,23 @@ func blockChecksum(comp []byte) uint32 {
 // matches on it to re-request the damaged chunk.
 var ErrChecksum = errors.New("cria: image block checksum mismatch")
 
+// ErrDigest reports an FXC3 container block whose decompressed bytes do
+// not hash to the SHA-256 digest the container carries — the content
+// identity lied. The delta-migration cache path matches on it to treat a
+// poisoned cache entry as a chunk-corruption fault and re-fetch.
+var ErrDigest = errors.New("cria: image block content digest mismatch")
+
 // Unmarshal decodes an image produced by Marshal, verifying every
 // container block's CRC32 before inflating (checksum mismatches return
-// an error wrapping ErrChecksum). Both legacy formats — FXC1 containers
-// without checksums and the seed's single gob+flate stream — are still
-// accepted.
+// an error wrapping ErrChecksum) and, for FXC3 containers, the SHA-256
+// content digest after inflating (mismatches wrap ErrDigest). The legacy
+// formats — FXC2, FXC1 containers and the seed's single gob+flate
+// stream — are still accepted.
 func Unmarshal(data []byte) (*Image, error) {
-	var withCRC bool
+	var withCRC, withDigest bool
 	switch {
+	case len(data) >= len(marshalMagicV3) && string(data[:len(marshalMagicV3)]) == marshalMagicV3:
+		withCRC, withDigest = true, true
 	case len(data) >= len(marshalMagic) && string(data[:len(marshalMagic)]) == marshalMagic:
 		withCRC = true
 	case len(data) >= len(marshalMagicV1) && string(data[:len(marshalMagicV1)]) == marshalMagicV1:
@@ -385,6 +419,14 @@ func Unmarshal(data []byte) (*Image, error) {
 			want = binary.LittleEndian.Uint32(rest[:4])
 			rest = rest[4:]
 		}
+		var wantSum [sha256.Size]byte
+		if withDigest {
+			if len(rest) < sha256.Size {
+				return nil, fmt.Errorf("cria: truncated image block digest")
+			}
+			copy(wantSum[:], rest[:sha256.Size])
+			rest = rest[sha256.Size:]
+		}
 		if ln > uint64(len(rest)) {
 			return nil, fmt.Errorf("cria: corrupt image block length")
 		}
@@ -393,7 +435,14 @@ func Unmarshal(data []byte) (*Image, error) {
 		if withCRC && blockChecksum(block) != want {
 			return nil, fmt.Errorf("%w (block %d)", ErrChecksum, blockIdx)
 		}
-		return inflate(block)
+		raw, err := inflate(block)
+		if err != nil {
+			return nil, err
+		}
+		if withDigest && sha256.Sum256(raw) != wantSum {
+			return nil, fmt.Errorf("%w (block %d)", ErrDigest, blockIdx)
+		}
+		return raw, nil
 	}
 
 	var coreRaw []byte

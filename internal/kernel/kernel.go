@@ -7,6 +7,7 @@ package kernel
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -95,6 +96,15 @@ type MemSegment struct {
 	Kind    SegmentKind
 	Size    int64
 	Entropy float64
+	// Gen counts the segment's content generations: DirtySegments bumps
+	// it when the app rewrites part of the mapping. Sizes and entropy are
+	// unchanged by a rewrite; only the content identity (and therefore the
+	// delta-migration chunk digests) moves. Zero means never rewritten.
+	Gen uint64
+	// DirtyFrac is the fraction of the segment rewritten in the Gen-1→Gen
+	// step; the rolling-delta fallback ships roughly this fraction of the
+	// segment's wire bytes when the peer caches the previous generation.
+	DirtyFrac float64
 }
 
 // CompressedSize returns the segment's size after compression.
@@ -393,6 +403,65 @@ func (p *Process) MemoryBytes(kinds ...SegmentKind) int64 {
 		}
 	}
 	return total
+}
+
+// DirtySegments models foreground app activity between migration hops:
+// the app touches roughly frac of the process's checkpointable bytes
+// (heap + ashmem), rewriting rewrite of the touched region. Segments are
+// picked in a seed-deterministic order until their sizes cover frac of
+// the checkpointable total; a segment only partially inside the target
+// (the common case — the Dalvik heap is one large mapping) takes a
+// proportionally smaller DirtyFrac, so the rewritten byte total tracks
+// frac×rewrite regardless of segment granularity. Every touched segment
+// advances one content generation (both fractions clamp to [0,1]).
+// Returns the bytes rewritten. The delta-migration commuter scenario
+// drives this between hops, so the dirty set — and therefore every chunk
+// digest — is a pure function of (memory map, frac, rewrite, seed).
+func (p *Process) DirtySegments(frac, rewrite float64, seed int64) int64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if rewrite < 0 {
+		rewrite = 0
+	}
+	if rewrite > 1 {
+		rewrite = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var idx []int
+	var total int64
+	for i, s := range p.segments {
+		if (s.Kind == SegHeap || s.Kind == SegAshmem) && s.Size > 0 {
+			idx = append(idx, i)
+			total += s.Size
+		}
+	}
+	if total == 0 || frac == 0 || rewrite == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+	target := int64(float64(total) * frac)
+	var covered, dirtied int64
+	for _, i := range idx {
+		if covered >= target {
+			break
+		}
+		seg := &p.segments[i]
+		span := seg.Size
+		if remaining := target - covered; remaining < span {
+			span = remaining
+		}
+		seg.Gen++
+		seg.DirtyFrac = float64(span) / float64(seg.Size) * rewrite
+		covered += span
+		dirtied += int64(float64(span) * rewrite)
+	}
+	return dirtied
 }
 
 // Exit terminates the process: Binder state tears down (firing death

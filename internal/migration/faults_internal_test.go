@@ -96,9 +96,9 @@ func TestScheduleStreamDegenerateChunks(t *testing.T) {
 		{Index: 1, Kind: cria.ChunkRecordLog, Segment: -1, Raw: 0, Wire: 0},
 		{Index: 2, Kind: cria.ChunkSegment, Segment: 0, Raw: 0, Wire: 0},
 	}
-	p := planPipeline(chunks, 1.0, false)
+	p := planPipeline(chunks, 1.0, false, nil)
 	link := netsim.Link{A: netsim.Radio80211n5G, B: netsim.Radio80211n24G}
-	p.scheduleStream(0, link, 1.0, 0.3)
+	p.scheduleStream(0, link, 1.0, 0.3, 0)
 	for i, l := range p.Lanes {
 		if l.CkptEnd < l.CkptStart || l.CompEnd < l.CompStart ||
 			l.XferEnd < l.XferStart || l.RstrEnd < l.RstrStart {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"flux/internal/android"
+	"flux/internal/chunkstore"
 	"flux/internal/cria"
 	"flux/internal/device"
 	"flux/internal/faults"
@@ -110,6 +111,23 @@ type Report struct {
 	// same inputs (Pipelined runs only; no post-copy deferral in the
 	// counterfactual).
 	PipelineSavings time.Duration
+	// CacheHits / CacheMisses / CacheRollingHits break down the delta
+	// negotiation's chunk fates (Options.Cache runs only): chunks served
+	// from the guest's cache, chunks shipped in full, and chunks shipped
+	// as rolling deltas against the previous content generation.
+	CacheHits        int
+	CacheMisses      int
+	CacheRollingHits int
+	// CachePoisoned counts cached chunks that failed digest verification
+	// during negotiation and were re-fetched over the wire.
+	CachePoisoned int
+	// CacheBytesNotShipped is the wire bytes the cache kept off the air.
+	CacheBytesNotShipped int64
+	// CacheDeltaBytes is the rolling-delta literal bytes shipped.
+	CacheDeltaBytes int64
+	// CacheNegotiationBytes is the digest-exchange traffic (both
+	// directions), included in TransferredBytes.
+	CacheNegotiationBytes int64
 	// Outcome is the migration's terminal state: OutcomeOK,
 	// OutcomeRolledBack, or "" when the run was refused before the
 	// pipeline started (precondition errors).
@@ -194,6 +212,19 @@ type Options struct {
 	// DefaultPipelineChunkBytes and values below MinPipelineChunkBytes are
 	// clamped up.
 	PipelineChunkBytes int64
+	// Cache is the guest device's content-addressed chunk store. Setting
+	// it enables delta migration: the checkpoint carries per-chunk
+	// SHA-256 digests (FXC3), the transfer opens with a digest
+	// negotiation, and chunks the guest already holds never cross the
+	// wire (see delta.go). Nil — the default — disables the subsystem
+	// entirely; runs are byte- and timing-identical to a build without
+	// it.
+	Cache *chunkstore.Store
+	// SourceCache is the home device's store for the same pair. Every
+	// digest the home offers is recorded in it, so a later hop in the
+	// reverse direction (with the stores' roles swapped) hits. Optional;
+	// ignored unless Cache is set.
+	SourceCache *chunkstore.Store
 	// Faults injects deterministic faults into the pipeline (see
 	// internal/faults). Nil — the default — disables injection entirely:
 	// no recovery branches run and the migration is bit-identical to a
@@ -372,6 +403,13 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	}
 	rep.StateBefore = m.Home.System.AppState(pkg)
 	rep.ImageBytes = img.PayloadBytes()
+	if m.Opts.Cache != nil {
+		// Delta migration ships the FXC3 container revision, whose
+		// per-block content digests the negotiation keys on. Set before
+		// WireBytes so every wire figure below reflects the digested
+		// container.
+		img.SetContentDigests(true)
+	}
 	imgWire, err := img.WireBytes()
 	if err != nil {
 		sp.End()
@@ -380,20 +418,37 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	rep.CompressedImageBytes = imgWire
 	rep.RecordLogBytes = int64(len(img.RecordLog))
 	var plan *pipelinePlan
-	if m.Opts.Pipelined {
+	var dp *deltaPlan
+	if m.Opts.Pipelined || m.Opts.Cache != nil {
 		chunks, cerr := img.Chunks(m.chunkBytes())
 		if cerr != nil {
 			sp.End()
 			return nil, cerr
 		}
-		plan = planPipeline(chunks, homeCPU, m.Opts.SkipCompression)
-		m.advanceBoth(plan.CompDone)
-		rep.Timings[StageCheckpoint] = plan.CompDone
-	} else {
-		ckptDur := cpuTime(ckptFixed, rep.ImageBytes, ckptRate, homeCPU)
-		m.advanceBoth(ckptDur)
-		rep.Timings[StageCheckpoint] = ckptDur
+		if m.Opts.Cache != nil {
+			dp = m.negotiate(chunks, fr)
+		}
+		if m.Opts.Pipelined {
+			plan = planPipeline(chunks, homeCPU, m.Opts.SkipCompression, dp)
+		}
 	}
+	var ckptDur time.Duration
+	switch {
+	case plan != nil:
+		ckptDur = plan.CompDone
+	case dp != nil:
+		// Sequential delta run: the checkpoint pass still walks the whole
+		// image, but the compressor only touches what ships. With
+		// everything shipping this telescopes back to the classic
+		// combined rate (1/ckptPipe + 1/compPipe = 1/ckptRate).
+		ckptDur = ckptFixed +
+			cpuWork(rep.ImageBytes, ckptPipeRate, homeCPU) +
+			cpuWork(dp.compRaw, compPipeRate, homeCPU)
+	default:
+		ckptDur = cpuTime(ckptFixed, rep.ImageBytes, ckptRate, homeCPU)
+	}
+	m.advanceBoth(ckptDur)
+	rep.Timings[StageCheckpoint] = ckptDur
 	sp.Attr(
 		obs.Int64("image_bytes", rep.ImageBytes),
 		obs.Int64("compressed_image_bytes", rep.CompressedImageBytes),
@@ -413,6 +468,13 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	if m.Opts.SkipCompression {
 		imageWire = rep.ImageBytes + rep.RecordLogBytes
 	}
+	var negDur time.Duration
+	if dp != nil {
+		// Only the negotiated ship set crosses the wire; the digest
+		// exchange itself is priced and accounted on the link.
+		imageWire = dp.shippedImageWire
+		negDur = link.NegotiateTime(dp.negUp, dp.negDown)
+	}
 	var residual int64
 	if m.Opts.PostCopy {
 		ws := m.Opts.PostCopyWorkingSet
@@ -425,6 +487,9 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	wire := rep.DataDeltaBytes + apkDelta + imageWire
 	rep.TransferredBytes = wire + residual
 	rep.PostCopyResidualBytes = residual
+	if dp != nil {
+		rep.TransferredBytes += dp.negUp + dp.negDown
+	}
 	var transferDur time.Duration
 	if plan != nil {
 		// Streamed: the full image (working set first) ships synchronously
@@ -438,15 +503,12 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 				ws = DefaultPipelineWorkingSet
 			}
 		}
-		plan.scheduleStream(rep.DataDeltaBytes+apkDelta, link, guestCPU, ws)
+		plan.scheduleStream(rep.DataDeltaBytes+apkDelta, link, guestCPU, ws, negDur)
 		// Account the stream on the link's telemetry. The makespan comes
 		// from the schedule: stalls waiting on compression are the
 		// pipeline's, not the link's, so StreamTime's return is unused.
-		wires := make([]int64, len(plan.Lanes))
-		for i := range plan.Lanes {
-			wires[i] = plan.Lanes[i].Wire
-		}
-		link.StreamTime(wires)
+		// Cache-hit lanes never touch the wire and take no stream slot.
+		link.StreamTime(plan.shippedWires())
 		transferDur = plan.XferDone - plan.CompDone
 		rep.PipelineChunks = len(plan.Lanes)
 		plan.emitChunkSpans(sp)
@@ -462,26 +524,33 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 			obs.Int64("pipeline_restore_stall_us", plan.RstrStall.Microseconds()),
 		)
 	} else {
-		transferDur = link.TransferTime(wire)
+		transferDur = negDur + link.TransferTime(wire)
 	}
 	var transferFault error
 	if fr != nil {
+		if dp != nil {
+			// Cached chunks that failed digest verification during
+			// negotiation re-fetch over the wire: priced here, inside the
+			// transfer stage, as ordinary chunk-corrupt recoveries.
+			transferDur += dp.poisonOverhead(fr, sp)
+		}
 		// Resumable recovery over the same chunk partition the stream
 		// ships (sequential runs retransmit at the configured chunk
 		// size): landed-and-verified chunks never reship, only faulted
-		// chunks pay airtime again.
+		// chunks pay airtime again. Cache-hit lanes never touch the wire,
+		// so they take no fault questions.
 		var wires []int64
 		if plan != nil {
-			wires = make([]int64, len(plan.Lanes))
-			for i := range plan.Lanes {
-				wires[i] = plan.Lanes[i].Wire
-			}
+			wires = plan.shippedWires()
 		} else {
 			wires = chunkWires(wire, m.chunkBytes())
 		}
 		var overhead time.Duration
 		overhead, transferFault = fr.transferRecovery(sp, wires)
 		transferDur += overhead
+	}
+	if dp != nil {
+		dp.record(rep, sp)
 	}
 	m.advanceBoth(transferDur)
 	rep.Timings[StageTransfer] = transferDur
@@ -608,7 +677,15 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 		if m.Opts.SkipCompression {
 			seqWire = rep.DataDeltaBytes + apkDelta + rep.ImageBytes + rep.RecordLogBytes
 		}
+		if dp != nil {
+			// The counterfactual negotiates the same delta: savings
+			// measure pipelining, not the cache.
+			seqWire = rep.DataDeltaBytes + apkDelta + dp.shippedImageWire
+		}
 		seq := sequentialUserPerceived(link, seqWire, rep.ImageBytes, texBytes, len(restored.Entries), guestCPU)
+		if dp != nil {
+			seq += dp.negotiationModelTime(link)
+		}
 		rep.PipelineSavings = seq - plan.userPerceived(reintDur)
 		if obs.Enabled() {
 			saved := rep.PipelineSavings

@@ -101,8 +101,13 @@ func init() {
 type chunkLane struct {
 	Chunk cria.Chunk
 	// Wire is the chunk's actual on-the-wire size for this run (raw
-	// under SkipCompression).
-	Wire               int64
+	// under SkipCompression; the negotiated ship size under delta
+	// migration — rolling literals, or zero for cache hits).
+	Wire int64
+	// Cached marks a delta-negotiation cache hit: the chunk skips
+	// compression and the wire entirely (its transfer lane is empty) but
+	// still holds its slot in the serial restore order.
+	Cached             bool
 	CkptStart, CkptEnd time.Duration
 	CompStart, CompEnd time.Duration
 	XferStart, XferEnd time.Duration
@@ -131,22 +136,21 @@ type pipelinePlan struct {
 
 // planPipeline computes the home-side checkpoint→compress schedule for the
 // image chunks. Wire and restore lanes are scheduled later (scheduleStream)
-// once the transfer stage knows the delta sizes.
-func planPipeline(chunks []cria.Chunk, homeCPU float64, skipCompression bool) *pipelinePlan {
+// once the transfer stage knows the delta sizes. dp (nil without a chunk
+// cache) is the delta negotiation's verdict: cache-hit lanes ship nothing
+// and skip compression, rolling lanes compress only their literal
+// fraction. Checkpointing is unaffected — the full image is always
+// captured (rollback safety).
+func planPipeline(chunks []cria.Chunk, homeCPU float64, skipCompression bool, dp *deltaPlan) *pipelinePlan {
 	p := &pipelinePlan{Lanes: make([]chunkLane, 0, len(chunks))}
 	var ckptFree, compFree time.Duration
 	for i, c := range chunks {
-		lane := chunkLane{Chunk: c, Wire: c.Wire}
-		if skipCompression {
-			// The sequential ablation ships raw memory and the record
-			// log and drops the compressed-metadata framing; mirror its
-			// byte accounting exactly.
-			switch c.Kind {
-			case cria.ChunkMetadata:
-				lane.Wire = 0
-			default:
-				lane.Wire = c.Raw
-			}
+		lane := chunkLane{Chunk: c, Wire: effectiveWire(c, skipCompression)}
+		compRaw := c.Raw
+		if dp != nil {
+			lane.Wire = dp.ship[i]
+			lane.Cached = dp.fates[i] == fateHit
+			compRaw = dp.compRawPer[i]
 		}
 		lane.CkptStart = ckptFree
 		ckptWork := cpuWork(c.Raw, ckptPipeRate, homeCPU)
@@ -157,13 +161,26 @@ func planPipeline(chunks []cria.Chunk, homeCPU float64, skipCompression bool) *p
 		ckptFree = lane.CkptEnd
 
 		lane.CompStart = maxDur(lane.CkptEnd, compFree)
-		lane.CompEnd = lane.CompStart + cpuWork(c.Raw, compPipeRate, homeCPU)
+		lane.CompEnd = lane.CompStart + cpuWork(compRaw, compPipeRate, homeCPU)
 		compFree = lane.CompEnd
 
 		p.Lanes = append(p.Lanes, lane)
 	}
 	p.CompDone = compFree
 	return p
+}
+
+// shippedWires returns the wire sizes of the lanes that actually hit the
+// link, in stream order — cache-hit lanes take no stream slot.
+func (p *pipelinePlan) shippedWires() []int64 {
+	out := make([]int64, 0, len(p.Lanes))
+	for i := range p.Lanes {
+		if p.Lanes[i].Cached {
+			continue
+		}
+		out = append(out, p.Lanes[i].Wire)
+	}
+	return out
 }
 
 // cpuWork models CPU-bound work over n bytes at rate bytes/sec on a 1.0
@@ -186,7 +203,12 @@ func maxDur(a, b time.Duration) time.Duration {
 // schedule. deltaWire (APK + data-directory delta) needs no checkpointing,
 // so it streams first — during the checkpoint fill — as a synthetic lane.
 // workingSet is the payload fraction whose restore gates adaptive replay.
-func (p *pipelinePlan) scheduleStream(deltaWire int64, link netsim.Link, guestCPU, workingSet float64) {
+// negDur (zero without a chunk cache) is the delta negotiation's round
+// trip: it occupies the wire from the start of the checkpoint stage, so
+// the first shipped chunk cannot leave before it completes. Cache-hit
+// lanes take no wire slot — they become available the moment negotiation
+// confirms them — but keep their place in the serial restore order.
+func (p *pipelinePlan) scheduleStream(deltaWire int64, link netsim.Link, guestCPU, workingSet float64, negDur time.Duration) {
 	if deltaWire > 0 {
 		delta := chunkLane{
 			Chunk: cria.Chunk{Index: -1, Kind: cria.ChunkDelta, Segment: -1, Raw: deltaWire},
@@ -194,11 +216,7 @@ func (p *pipelinePlan) scheduleStream(deltaWire int64, link netsim.Link, guestCP
 		}
 		p.Lanes = append([]chunkLane{delta}, p.Lanes...)
 	}
-	wires := make([]int64, len(p.Lanes))
-	for i := range p.Lanes {
-		wires[i] = p.Lanes[i].Wire
-	}
-	wireDur := link.ChunkTimes(wires)
+	wireDur := link.ChunkTimes(p.shippedWires())
 
 	// Working-set boundary over the memory payload.
 	var payload int64
@@ -212,17 +230,27 @@ func (p *pipelinePlan) scheduleStream(deltaWire int64, link netsim.Link, guestCP
 	}
 	wsTarget := int64(float64(payload) * workingSet)
 
-	var xferFree, rstrFree time.Duration
+	var rstrFree time.Duration
+	xferFree := negDur
 	var seenImage bool
 	var cumPayload int64
 	p.wsIndex = len(p.Lanes) - 1
 	wsFound := false
+	wi := 0
 	for i := range p.Lanes {
 		lane := &p.Lanes[i]
-		lane.XferStart = maxDur(xferFree, lane.CompEnd)
-		p.WireStall += lane.XferStart - maxDur(xferFree, 0)
-		lane.XferEnd = lane.XferStart + wireDur[i]
-		xferFree = lane.XferEnd
+		if lane.Cached {
+			// Served from the guest's cache: no wire occupancy. Available
+			// once the negotiation confirmed the hit.
+			lane.XferStart = negDur
+			lane.XferEnd = negDur
+		} else {
+			lane.XferStart = maxDur(xferFree, lane.CompEnd)
+			p.WireStall += lane.XferStart - maxDur(xferFree, 0)
+			lane.XferEnd = lane.XferStart + wireDur[wi]
+			wi++
+			xferFree = lane.XferEnd
+		}
 
 		// Restore: the wrapper process (fixed cost, unscaled like the
 		// sequential model's) stands up on the first image chunk;
@@ -302,7 +330,7 @@ func (p *pipelinePlan) emitChunkSpans(sp *obs.Span) {
 	}
 	for i := range p.Lanes {
 		l := &p.Lanes[i]
-		sp.Child(SpanPipelineChunk,
+		child := sp.Child(SpanPipelineChunk,
 			obs.Int64("chunk", int64(i)),
 			obs.String("kind", l.Chunk.Kind.String()),
 			obs.Int64("segment", int64(l.Chunk.Segment)),
@@ -317,6 +345,10 @@ func (p *pipelinePlan) emitChunkSpans(sp *obs.Span) {
 			obs.Int64("rstr_start_us", l.RstrStart.Microseconds()),
 			obs.Int64("rstr_end_us", l.RstrEnd.Microseconds()),
 			obs.Bool("working_set", i <= p.wsIndex),
-		).End()
+		)
+		if l.Cached {
+			child.Attr(obs.Bool("cached", true))
+		}
+		child.End()
 	}
 }

@@ -24,6 +24,11 @@ const (
 	MetricTransferSeconds = "flux_net_transfer_seconds"
 	// MetricStreamChunks counts chunks shipped by streamed transfers.
 	MetricStreamChunks = "flux_net_stream_chunks_total"
+	// MetricNegotiations counts delta-migration cache negotiations by link.
+	MetricNegotiations = "flux_net_negotiations_total"
+	// MetricNegotiationBytes counts digest-advertisement bytes (both
+	// directions) exchanged by delta-migration negotiations, by link.
+	MetricNegotiationBytes = "flux_net_negotiation_bytes_total"
 )
 
 func init() {
@@ -32,6 +37,8 @@ func init() {
 	m.Describe(MetricTransferBytes, "Payload bytes shipped over simulated links.")
 	m.Describe(MetricTransferSeconds, "Modelled transfer durations on the virtual clock, in seconds.")
 	m.Describe(MetricStreamChunks, "Chunks shipped by streamed (chunked) link transfers.")
+	m.Describe(MetricNegotiations, "Delta-migration cache negotiations, by link.")
+	m.Describe(MetricNegotiationBytes, "Digest-advertisement bytes exchanged by delta-migration negotiations.")
 }
 
 // Radio describes one device's WiFi adapter as deployed (i.e. effective
@@ -129,6 +136,29 @@ func (l Link) AirTime(n int64) time.Duration {
 		return 0
 	}
 	return payloadTime(n, bw)
+}
+
+// NegotiateTime is the cost of the delta-migration cache negotiation:
+// the home device advertises the image's chunk digests (up bytes), the
+// guest answers with its have-set and rolling-delta signatures (down
+// bytes). One extra round trip inside the already-negotiated session —
+// a single setup latency plus the airtime of both directions. Accounts
+// one negotiation and its bytes on the link counters.
+func (l Link) NegotiateTime(up, down int64) time.Duration {
+	if up < 0 {
+		up = 0
+	}
+	if down < 0 {
+		down = 0
+	}
+	d := l.Latency() + l.AirTime(up) + l.AirTime(down)
+	if obs.Enabled() {
+		m := obs.M()
+		label := l.A.Name + "<->" + l.B.Name
+		m.Counter(MetricNegotiations, "link", label).Inc()
+		m.Counter(MetricNegotiationBytes, "link", label).Add(uint64(up + down))
+	}
+	return d
 }
 
 // ModelTime is TransferTime without the telemetry side effects: the

@@ -59,6 +59,22 @@ func TestAirTime(t *testing.T) {
 	}
 }
 
+// TestNegotiateTime: one round trip — setup latency plus both
+// directions' airtime — with degenerate sizes clamped to zero.
+func TestNegotiateTime(t *testing.T) {
+	l := Link{A: Radio80211n5G, B: Radio80211n5G}
+	up, down := int64(32*120+16), int64((120+7)/8)
+	if got, want := l.NegotiateTime(up, down), l.Latency()+l.AirTime(up)+l.AirTime(down); got != want {
+		t.Errorf("NegotiateTime = %v, want %v", got, want)
+	}
+	if got := l.NegotiateTime(0, 0); got != l.Latency() {
+		t.Errorf("empty negotiation = %v, want bare latency %v", got, l.Latency())
+	}
+	if got := l.NegotiateTime(-5, -9); got != l.Latency() {
+		t.Errorf("negative sizes = %v, want bare latency %v", got, l.Latency())
+	}
+}
+
 func TestLinkLatencyIsMax(t *testing.T) {
 	l := Link{A: Radio80211n5G, B: Radio80211n24G}
 	if got := l.Latency(); got != Radio80211n24G.SetupLatency {

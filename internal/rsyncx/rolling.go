@@ -1,0 +1,81 @@
+package rsyncx
+
+// Rolling-delta model: the rsync block-matching algorithm applied to one
+// migration chunk. When a commuter's app rewrote part of a segment since
+// the guest last cached it, the guest holds the chunk's previous content
+// generation — similar but not identical bytes. Instead of re-shipping
+// the whole chunk, the guest sends per-block signatures (weak rolling
+// checksum + strong hash, as in rsync), the home slides a window over the
+// current content, and only unmatched literal bytes plus match tokens
+// cross the wire.
+//
+// As elsewhere in the simulation, no payload bytes are materialized: the
+// functions here are exact-arithmetic models over sizes and the rewrite
+// fraction, deterministic and side-effect free.
+
+import "math"
+
+const (
+	// RollingBlockBytes is the signature block size. 2 KiB keeps the
+	// signature under 1% of content while bounding match granularity at
+	// half a page.
+	RollingBlockBytes = 2 * 1024
+	// RollingSigPerBlock is the per-block signature cost: a 4-byte
+	// rolling (weak) checksum plus a 16-byte truncated strong hash.
+	RollingSigPerBlock = 20
+	// RollingTokenBytes is the wire cost of one matched-block reference
+	// in the delta stream.
+	RollingTokenBytes = 4
+	// rollingSigHeader frames one chunk's signature set (chunk id, block
+	// size, block count).
+	rollingSigHeader = 16
+)
+
+// rollingBlocks is the signature block count covering n bytes.
+func rollingBlocks(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return (n + RollingBlockBytes - 1) / RollingBlockBytes
+}
+
+// SignatureBytes is the size of the guest→home signature set for a chunk
+// of raw uncompressed bytes: a fixed header plus one signature per block.
+// Zero for empty chunks.
+func SignatureBytes(raw int64) int64 {
+	b := rollingBlocks(raw)
+	if b == 0 {
+		return 0
+	}
+	return rollingSigHeader + b*RollingSigPerBlock
+}
+
+// RollingLiteralBytes is the home→guest delta size for a chunk whose full
+// wire (compressed) size is wire and whose content was rewritten in
+// fraction dirty since the generation the guest holds. Rewritten blocks
+// ship as literals; every block costs a match/literal token. A rewrite
+// rarely aligns to block boundaries, so the dirty block count rounds up
+// and charges one extra straddled boundary block. Never exceeds wire —
+// if block bookkeeping would cost more than re-shipping, the delta
+// degenerates to a full send.
+func RollingLiteralBytes(wire int64, dirty float64) int64 {
+	if wire <= 0 {
+		return 0
+	}
+	if dirty < 0 {
+		dirty = 0
+	}
+	if dirty > 1 {
+		dirty = 1
+	}
+	blocks := rollingBlocks(wire)
+	dirtyBlocks := int64(math.Ceil(dirty * float64(blocks)))
+	if dirty > 0 && dirtyBlocks < blocks {
+		dirtyBlocks++ // the straddled boundary block
+	}
+	total := wire*dirtyBlocks/blocks + blocks*RollingTokenBytes
+	if total > wire {
+		total = wire
+	}
+	return total
+}

@@ -1,0 +1,83 @@
+package rsyncx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignatureBytes(t *testing.T) {
+	if got := SignatureBytes(0); got != 0 {
+		t.Errorf("SignatureBytes(0) = %d, want 0", got)
+	}
+	if got := SignatureBytes(-5); got != 0 {
+		t.Errorf("SignatureBytes(-5) = %d, want 0", got)
+	}
+	if got, want := SignatureBytes(1), int64(rollingSigHeader+RollingSigPerBlock); got != want {
+		t.Errorf("SignatureBytes(1) = %d, want %d", got, want)
+	}
+	// Exactly 4 blocks.
+	raw := int64(4 * RollingBlockBytes)
+	if got, want := SignatureBytes(raw), int64(rollingSigHeader+4*RollingSigPerBlock); got != want {
+		t.Errorf("SignatureBytes(%d) = %d, want %d", raw, got, want)
+	}
+	// One byte over rounds up to 5 blocks.
+	if got, want := SignatureBytes(raw+1), int64(rollingSigHeader+5*RollingSigPerBlock); got != want {
+		t.Errorf("SignatureBytes(%d) = %d, want %d", raw+1, got, want)
+	}
+	// The signature stays a small fraction of realistic chunk sizes.
+	if sig := SignatureBytes(256 << 10); sig >= (256<<10)/50 {
+		t.Errorf("signature %d is over 2%% of a 256 KiB chunk", sig)
+	}
+}
+
+func TestRollingLiteralBytesShape(t *testing.T) {
+	wire := int64(200 << 10)
+	// Clean content: pure match tokens, far below a full ship.
+	clean := RollingLiteralBytes(wire, 0)
+	if clean <= 0 || clean >= wire/10 {
+		t.Errorf("clean delta = %d, want small positive (wire %d)", clean, wire)
+	}
+	// Fully rewritten content degenerates to a full ship.
+	if got := RollingLiteralBytes(wire, 1); got != wire {
+		t.Errorf("fully dirty delta = %d, want wire %d", got, wire)
+	}
+	// 10% dirty ships roughly 10% plus bookkeeping — well under half.
+	d := RollingLiteralBytes(wire, 0.10)
+	if d <= clean || d >= wire/2 {
+		t.Errorf("10%% dirty delta = %d, want between %d and %d", d, clean, wire/2)
+	}
+	if RollingLiteralBytes(0, 0.5) != 0 || RollingLiteralBytes(-3, 0.5) != 0 {
+		t.Error("degenerate wire sizes not zero")
+	}
+}
+
+// Property: the delta never exceeds the full wire size and never goes
+// negative, for any wire size and dirty fraction (including garbage
+// fractions, which clamp).
+func TestRollingLiteralBytesBounded(t *testing.T) {
+	f := func(wire int64, dirty float64) bool {
+		if wire < 0 {
+			wire = -wire
+		}
+		wire %= 64 << 20
+		d := RollingLiteralBytes(wire, dirty)
+		return d >= 0 && d <= wire
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the delta is monotone in the dirty fraction — rewriting more
+// never ships less.
+func TestRollingLiteralBytesMonotone(t *testing.T) {
+	wire := int64(256 << 10)
+	prev := int64(-1)
+	for i := 0; i <= 20; i++ {
+		d := RollingLiteralBytes(wire, float64(i)/20)
+		if d < prev {
+			t.Fatalf("delta decreased at dirty=%.2f: %d < %d", float64(i)/20, d, prev)
+		}
+		prev = d
+	}
+}

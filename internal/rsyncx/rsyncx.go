@@ -13,6 +13,7 @@ package rsyncx
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -246,7 +247,30 @@ func Verify(src, dst *Tree) error {
 		}
 	}
 	if src.Len() != dst.Len() {
-		return fmt.Errorf("rsyncx: destination has %d extra files", dst.Len()-src.Len())
+		// Name the offenders: a bare count sends whoever hits this straight
+		// back to the debugger to diff the trees by hand. Listing the first
+		// few paths (sorted, so the message is deterministic) usually
+		// identifies the leak immediately.
+		var extras []string
+		for _, f := range dst.Files() {
+			if _, ok := src.Get(f.Path); !ok {
+				extras = append(extras, f.Path)
+				if len(extras) == maxReportedExtras {
+					break
+				}
+			}
+		}
+		n := dst.Len() - src.Len()
+		if n > len(extras) {
+			return fmt.Errorf("rsyncx: destination has %d extra files (first %d: %s, ...)",
+				n, len(extras), strings.Join(extras, ", "))
+		}
+		return fmt.Errorf("rsyncx: destination has %d extra files (%s)",
+			n, strings.Join(extras, ", "))
 	}
 	return nil
 }
+
+// maxReportedExtras caps how many extra destination paths Verify names in
+// its error before truncating with an ellipsis.
+const maxReportedExtras = 3

@@ -2,6 +2,7 @@ package rsyncx
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -95,6 +96,58 @@ func TestVerifyFailures(t *testing.T) {
 	}
 	if err := Verify(src, tree(File{Path: "/a", Size: 1, Hash: 1}, File{Path: "/x", Hash: 5})); err == nil {
 		t.Error("Verify accepted extra file")
+	}
+}
+
+// TestVerifyExtraFilesNamesPaths: the extra-files error must name the
+// offending destination paths (sorted), not just count them — and
+// truncate with an ellipsis past maxReportedExtras.
+func TestVerifyExtraFilesNamesPaths(t *testing.T) {
+	src := tree(File{Path: "/a", Size: 1, Hash: 1})
+	dst := tree(
+		File{Path: "/a", Size: 1, Hash: 1},
+		File{Path: "/zz/stale", Hash: 5},
+		File{Path: "/bb/orphan", Hash: 6},
+	)
+	err := Verify(src, dst)
+	if err == nil {
+		t.Fatal("Verify accepted extra files")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "2 extra files") {
+		t.Errorf("error %q does not report the count", msg)
+	}
+	for _, p := range []string{"/bb/orphan", "/zz/stale"} {
+		if !strings.Contains(msg, p) {
+			t.Errorf("error %q does not name offending path %s", msg, p)
+		}
+	}
+	if strings.Contains(msg, "...") {
+		t.Errorf("error %q truncated despite naming all offenders", msg)
+	}
+	// Sorted order: /bb/orphan before /zz/stale.
+	if strings.Index(msg, "/bb/orphan") > strings.Index(msg, "/zz/stale") {
+		t.Errorf("error %q does not list paths in sorted order", msg)
+	}
+
+	// Past the cap: first maxReportedExtras named, rest elided.
+	many := tree(File{Path: "/a", Size: 1, Hash: 1})
+	for i := 0; i < maxReportedExtras+2; i++ {
+		many.Add(File{Path: fmt.Sprintf("/extra/%02d", i), Hash: uint64(10 + i)})
+	}
+	err = Verify(src, many)
+	if err == nil {
+		t.Fatal("Verify accepted extra files")
+	}
+	msg = err.Error()
+	if !strings.Contains(msg, "...") {
+		t.Errorf("error %q not truncated with %d extras", msg, maxReportedExtras+2)
+	}
+	if !strings.Contains(msg, "/extra/00") {
+		t.Errorf("error %q does not name the first offender", msg)
+	}
+	if strings.Contains(msg, fmt.Sprintf("/extra/%02d", maxReportedExtras)) {
+		t.Errorf("error %q names more than %d offenders", msg, maxReportedExtras)
 	}
 }
 

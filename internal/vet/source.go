@@ -93,6 +93,7 @@ func DefaultSourceConfig(root string) SourceConfig {
 	}
 	sort.Strings(cfg.VirtualClockDirs)
 	cfg.DeterministicDirs = []string{
+		"internal/chunkstore",
 		"internal/experiments",
 		"internal/migration",
 		"internal/netsim",

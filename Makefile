@@ -13,12 +13,14 @@
 #   make bench-commuter  delta-migration commuter scenario: 8 round trips
 #                    per pair at 10% dirty rate, writes BENCH_commuter.json
 #   make results     regenerate every figure and write BENCH_results.json
+#   make lab         run the committed smoke spec through fluxlab and diff
+#                    the fresh report against the committed trajectory
 #   make trace-demo  run one telemetry-enabled migration and write a
 #                    sample Chrome trace (trace-demo.json) + stage report
 
 GO ?= go
 
-.PHONY: all verify vet lint build test race bench bench-pipeline bench-faults bench-commuter results trace-demo clean
+.PHONY: all verify vet lint build test race bench bench-pipeline bench-faults bench-commuter results lab trace-demo clean
 
 all: verify
 
@@ -48,7 +50,7 @@ test:
 # memoized sync trees, and the mutex-guarded chunk store are only correct
 # if they are race-clean.
 race:
-	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/ ./internal/faults/ ./internal/chunkstore/
+	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/ ./internal/faults/ ./internal/chunkstore/ ./internal/lab/
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/record/
@@ -80,6 +82,15 @@ bench-commuter:
 
 results:
 	$(GO) run ./cmd/fluxbench -all -json BENCH_results.json
+
+# The experiment platform's smoke spec: a deterministic sweep (same seed
+# + spec is byte-identical at any -workers width), recorded into a fresh
+# trajectory and diffed against the committed BENCH_trajectory.json. Any
+# stage timing, byte counter, signal, or calibration metric regressing
+# beyond the tolerance fails the target.
+lab:
+	$(GO) run ./cmd/fluxlab run -q -record /tmp/flux-lab-smoke.json lab/specs/smoke.yaml > /dev/null
+	$(GO) run ./cmd/fluxlab diff BENCH_trajectory.json /tmp/flux-lab-smoke.json
 
 # One migration with full telemetry: flamegraph-style stage breakdown on
 # stdout, Chrome trace-event JSON (chrome://tracing / ui.perfetto.dev)

@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"flux"
@@ -69,6 +70,13 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON file of all migration span trees")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateFlags(explicit, *table, *fig, *faultRate, *dirty, *hops, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "fluxbench:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *tracePath != "" {
 		obs.SetEnabled(true)
 	}
@@ -90,6 +98,78 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fluxbench: wrote %s (%d spans kept, %d dropped by the ring)\n",
 			*tracePath, total-dropped, dropped)
 	}
+}
+
+// modeFlagNames are the flags that each select an evaluation to run.
+// Exactly one way of choosing work is allowed: either -all, or any
+// combination of these.
+var modeFlagNames = []string{
+	"table", "fig", "pairing", "failures", "summary", "ablations",
+	"pipeline", "faults", "commuter",
+}
+
+// scopedFlags are parameter flags that only mean something under their
+// mode flag; setting one without the mode is an error, not a silent
+// no-op (the historical behavior: `fluxbench -fault-rate 0.5` ran
+// nothing and exited 0).
+var scopedFlags = []struct{ flag, mode string }{
+	{"fault-rate", "faults"},
+	{"fault-seed", "faults"},
+	{"hops", "commuter"},
+	{"dirty", "commuter"},
+	{"cache-budget", "commuter"},
+	{"commuter-pipelined", "commuter"},
+}
+
+// validateFlags checks the explicitly-set flag combination (set is
+// populated by flag.Visit) before any simulation runs, so a bad
+// invocation fails fast with usage instead of half-running or silently
+// no-oping.
+func validateFlags(set map[string]bool, table, fig int, faultRate, dirty float64, hops int, budget int64) error {
+	var modes []string
+	for _, m := range modeFlagNames {
+		if set[m] {
+			modes = append(modes, "-"+m)
+		}
+	}
+	// Scoped-flag violations first: "-fault-rate only applies with
+	// -faults" beats a generic "nothing to run" for the same invocation.
+	for _, s := range scopedFlags {
+		if set[s.flag] && !set[s.mode] {
+			return fmt.Errorf("-%s only applies with -%s", s.flag, s.mode)
+		}
+	}
+	switch {
+	case set["all"] && len(modes) > 0:
+		return fmt.Errorf("-all already runs everything; drop %s", strings.Join(modes, ", "))
+	case !set["all"] && len(modes) == 0:
+		return fmt.Errorf("nothing to run: pick -all or a mode flag (-table, -fig, -summary, ...)")
+	}
+	if set["table"] && table != 2 && table != 3 {
+		return fmt.Errorf("no table %d in the paper's evaluation (want 2 or 3)", table)
+	}
+	if set["fig"] && (fig < 12 || fig > 17) {
+		return fmt.Errorf("no figure %d in the paper's evaluation (want 12-17)", fig)
+	}
+	if set["bench-iters"] && !set["all"] && fig != 16 {
+		return fmt.Errorf("-bench-iters only applies with -fig 16 or -all")
+	}
+	if set["play-n"] && !set["all"] && fig != 17 {
+		return fmt.Errorf("-play-n only applies with -fig 17 or -all")
+	}
+	if faultRate < 0 || faultRate > 1 {
+		return fmt.Errorf("-fault-rate %g out of [0,1]", faultRate)
+	}
+	if dirty < 0 || dirty > 1 {
+		return fmt.Errorf("-dirty %g out of [0,1]", dirty)
+	}
+	if set["hops"] && hops < 1 {
+		return fmt.Errorf("-hops %d: need at least one round trip", hops)
+	}
+	if budget < 0 {
+		return fmt.Errorf("-cache-budget %d is negative", budget)
+	}
+	return nil
 }
 
 func run(table, fig int, pairing, failures, summary, ablations, pipeline, all bool, benchIters, playN, workers int, jsonPath string, faultsRun bool, faultRate float64, faultSeed int64, commuter bool, commuterSpec experiments.CommuterSpec) error {
@@ -273,8 +353,9 @@ func run(table, fig int, pairing, failures, summary, ablations, pipeline, all bo
 		}
 	}
 	if !ran {
-		flag.Usage()
-		return nil
+		// validateFlags rejects mode-less invocations before run; reaching
+		// here means a programming error, not a user one.
+		return fmt.Errorf("no evaluation selected")
 	}
 	return writeResults(res, jsonPath)
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func set(flags ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, f := range flags {
+		m[f] = true
+	}
+	return m
+}
+
+// validate applies defaults for the value parameters so table-driven
+// cases only spell out what they test.
+type flagCase struct {
+	name      string
+	set       map[string]bool
+	table     int
+	fig       int
+	faultRate float64
+	dirty     float64
+	hops      int
+	budget    int64
+	wantErr   string // "" = must pass
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []flagCase{
+		{name: "all alone", set: set("all")},
+		{name: "summary alone", set: set("summary")},
+		{name: "table 2", set: set("table"), table: 2},
+		{name: "fig 15", set: set("fig"), fig: 15},
+		{name: "combined modes", set: set("summary", "pipeline", "faults")},
+		{name: "faults with scoped params", set: set("faults", "fault-rate", "fault-seed"), faultRate: 0.35},
+		{name: "commuter with scoped params", set: set("commuter", "hops", "dirty", "cache-budget", "commuter-pipelined"), hops: 4, dirty: 0.25, budget: 1 << 20},
+		{name: "bench-iters with fig 16", set: set("fig", "bench-iters"), fig: 16},
+		{name: "bench-iters with all", set: set("all", "bench-iters")},
+		{name: "play-n with fig 17", set: set("fig", "play-n"), fig: 17},
+		{name: "globals anywhere", set: set("summary", "workers", "json", "trace")},
+
+		{name: "no mode", set: set(), wantErr: "nothing to run"},
+		{name: "only globals", set: set("workers", "json"), wantErr: "nothing to run"},
+		{name: "all plus mode", set: set("all", "summary"), wantErr: "-all already runs everything"},
+		{name: "all plus table", set: set("all", "table"), table: 2, wantErr: "drop -table"},
+		{name: "table 0 explicit", set: set("table"), table: 0, wantErr: "no table 0"},
+		{name: "table 4", set: set("table"), table: 4, wantErr: "no table 4"},
+		{name: "fig 11", set: set("fig"), fig: 11, wantErr: "no figure 11"},
+		{name: "fig 18", set: set("fig"), fig: 18, wantErr: "no figure 18"},
+		{name: "fault-rate without faults", set: set("fault-rate"), faultRate: 0.5, wantErr: "-fault-rate only applies with -faults"},
+		{name: "fault-seed without faults", set: set("summary", "fault-seed"), wantErr: "-fault-seed only applies with -faults"},
+		{name: "dirty without commuter", set: set("pipeline", "dirty"), dirty: 0.5, wantErr: "-dirty only applies with -commuter"},
+		{name: "hops without commuter", set: set("all", "hops"), hops: 4, wantErr: "-hops only applies with -commuter"},
+		{name: "bench-iters without fig 16", set: set("fig", "bench-iters"), fig: 12, wantErr: "-bench-iters only applies"},
+		{name: "play-n without fig 17", set: set("summary", "play-n"), wantErr: "-play-n only applies"},
+		{name: "fault rate range", set: set("faults", "fault-rate"), faultRate: 1.5, wantErr: "out of [0,1]"},
+		{name: "dirty range", set: set("commuter", "dirty"), dirty: -0.1, wantErr: "out of [0,1]"},
+		{name: "zero hops", set: set("commuter", "hops"), hops: 0, wantErr: "at least one round trip"},
+		{name: "negative budget", set: set("commuter", "cache-budget"), budget: -1, wantErr: "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Unset value params keep their in-range flag defaults.
+			if _, ok := tc.set["fault-rate"]; !ok && tc.faultRate == 0 {
+				tc.faultRate = 0.15
+			}
+			if _, ok := tc.set["dirty"]; !ok && tc.dirty == 0 {
+				tc.dirty = 0.10
+			}
+			if _, ok := tc.set["hops"]; !ok && tc.hops == 0 {
+				tc.hops = 8
+			}
+			err := validateFlags(tc.set, tc.table, tc.fig, tc.faultRate, tc.dirty, tc.hops, tc.budget)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("combination passed, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,216 @@
+package lab
+
+// Calibration scores the simulation against the checked-in paper
+// reference (refdata.go): MAPE per metric family and Pearson correlation
+// across the per-app vectors. Modeled on BLIS's workload calibration
+// (sim/workload/calibrate.go): the simulator earns trust not by claiming
+// fidelity but by printing, on every run, exactly how far from the
+// published numbers it sits — and failing when that distance grows past
+// budget.
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"flux/internal/experiments"
+	"flux/internal/migration"
+)
+
+// StageMAPE is one stage's calibration row.
+type StageMAPE struct {
+	Stage string `json:"stage"`
+	// MAPEPct is the mean absolute percentage error of the simulated
+	// per-app stage share against the Figure 13 reference.
+	MAPEPct float64 `json:"mape_pct"`
+	// BudgetPct is the failure threshold.
+	BudgetPct float64 `json:"budget_pct"`
+	Pass      bool    `json:"pass"`
+}
+
+// HeadlineCal is one §4 aggregate scored against the paper.
+type HeadlineCal struct {
+	Name      string  `json:"name"`
+	Paper     float64 `json:"paper"`
+	Measured  float64 `json:"measured"`
+	ErrPct    float64 `json:"err_pct"`
+	BudgetPct float64 `json:"budget_pct"`
+	Pass      bool    `json:"pass"`
+}
+
+// Calibration is the full calibration report of one lab run.
+type Calibration struct {
+	// Stages scores the five Figure 13 stage-share vectors (16 apps
+	// each) by MAPE.
+	Stages []StageMAPE `json:"stages"`
+	// BytesMAPEPct scores the per-app Figure 15 transfer sizes.
+	BytesMAPEPct   float64 `json:"bytes_mape_pct"`
+	BytesBudgetPct float64 `json:"bytes_budget_pct"`
+	BytesPass      bool    `json:"bytes_pass"`
+	// StagePearsonR correlates the 80-point (16 apps × 5 stages)
+	// simulated share vector with the reference.
+	StagePearsonR float64 `json:"stage_pearson_r"`
+	// BytesPearsonR correlates the 16-point transfer-size vectors.
+	BytesPearsonR float64 `json:"bytes_pearson_r"`
+	PearsonFloor  float64 `json:"pearson_floor"`
+	PearsonPass   bool    `json:"pearson_pass"`
+	// Headlines scores the §4 aggregates with the loose budget.
+	Headlines []HeadlineCal `json:"headlines"`
+	// Pass is the conjunction of every row above.
+	Pass bool `json:"pass"`
+}
+
+// stageShort are the Figure 13 column labels in stage order.
+var stageShort = [5]string{"prep", "ckpt", "xfer", "rstr", "reint"}
+
+// Calibrate scores the clean sequential matrix against the reference.
+// The cells must be a full 16-app × 4-pair matrix; missing apps are an
+// error because a partial calibration would silently weaken the gate.
+func Calibrate(cells []experiments.Cell, crit Criteria) (*Calibration, error) {
+	type agg struct {
+		share [5]float64 // summed stage shares, percent
+		wire  float64    // summed wire MB
+		n     int
+	}
+	byApp := make(map[string]*agg, 16)
+	for _, c := range cells {
+		a := byApp[c.App.Spec.Label]
+		if a == nil {
+			a = &agg{}
+			byApp[c.App.Spec.Label] = a
+		}
+		total := float64(c.Report.Timings.Total())
+		for s := 0; s < 5; s++ {
+			a.share[s] += float64(c.Report.Timings[migration.Stage(s)]) / total * 100
+		}
+		a.wire += float64(c.Report.TransferredBytes) / (1 << 20)
+		a.n++
+	}
+
+	refs := RefApps()
+	var (
+		stageAPE  [5][]float64 // per-stage |err|/ref
+		simShares []float64    // 80-point vector, app-major
+		refShares []float64
+		simBytes  []float64
+		refBytes  []float64
+		bytesAPE  []float64
+	)
+	for _, ref := range refs {
+		a := byApp[ref.Label]
+		if a == nil || a.n == 0 {
+			return nil, fmt.Errorf("lab: calibration: app %q missing from the matrix", ref.Label)
+		}
+		n := float64(a.n)
+		for s := 0; s < 5; s++ {
+			sim := a.share[s] / n
+			simShares = append(simShares, sim)
+			refShares = append(refShares, ref.StageSharePct[s])
+			stageAPE[s] = append(stageAPE[s], math.Abs(sim-ref.StageSharePct[s])/ref.StageSharePct[s])
+		}
+		simMB := a.wire / n
+		simBytes = append(simBytes, simMB)
+		refBytes = append(refBytes, ref.TransferMB)
+		bytesAPE = append(bytesAPE, math.Abs(simMB-ref.TransferMB)/ref.TransferMB)
+	}
+
+	cal := &Calibration{
+		BytesMAPEPct:   100 * mean(bytesAPE),
+		BytesBudgetPct: crit.MaxBytesMAPEPct,
+		StagePearsonR:  pearson(simShares, refShares),
+		BytesPearsonR:  pearson(simBytes, refBytes),
+		PearsonFloor:   crit.MinPearsonR,
+	}
+	cal.BytesPass = cal.BytesMAPEPct <= cal.BytesBudgetPct
+	cal.PearsonPass = cal.StagePearsonR >= cal.PearsonFloor && cal.BytesPearsonR >= cal.PearsonFloor
+	for s := 0; s < 5; s++ {
+		row := StageMAPE{
+			Stage:     stageShort[s],
+			MAPEPct:   100 * mean(stageAPE[s]),
+			BudgetPct: crit.MaxStageMAPEPct,
+		}
+		row.Pass = row.MAPEPct <= row.BudgetPct
+		cal.Stages = append(cal.Stages, row)
+	}
+
+	m := experiments.MatrixMetrics(cells)
+	measured := map[string]float64{
+		"avg_migration_s":      m["avg_virtual_migration_s"],
+		"avg_user_perceived_s": m["avg_user_perceived_s"],
+		"avg_excl_transfer_s":  m["avg_excl_transfer_s"],
+	}
+	for _, h := range RefHeadlines() {
+		row := HeadlineCal{
+			Name:      h.Name,
+			Paper:     h.Paper,
+			Measured:  measured[h.Name],
+			ErrPct:    100 * math.Abs(measured[h.Name]-h.Paper) / h.Paper,
+			BudgetPct: crit.MaxHeadlineMAPEPct,
+		}
+		row.Pass = row.ErrPct <= row.BudgetPct
+		cal.Headlines = append(cal.Headlines, row)
+	}
+
+	cal.Pass = cal.BytesPass && cal.PearsonPass
+	for _, r := range cal.Stages {
+		cal.Pass = cal.Pass && r.Pass
+	}
+	for _, r := range cal.Headlines {
+		cal.Pass = cal.Pass && r.Pass
+	}
+	return cal, nil
+}
+
+// Render writes the calibration table.
+func (c *Calibration) Render(w io.Writer) {
+	fmt.Fprintln(w, "Calibration vs paper (Figure 13 stage shares, Figure 15/Table 3 transfer sizes, §4 headlines):")
+	fmt.Fprintf(w, "  %-26s %10s %10s  %s\n", "METRIC", "MAPE", "BUDGET", "VERDICT")
+	for _, r := range c.Stages {
+		fmt.Fprintf(w, "  %-26s %9.2f%% %9.2f%%  %s\n", "stage_share."+r.Stage, r.MAPEPct, r.BudgetPct, verdict(r.Pass))
+	}
+	fmt.Fprintf(w, "  %-26s %9.2f%% %9.2f%%  %s\n", "transfer_bytes", c.BytesMAPEPct, c.BytesBudgetPct, verdict(c.BytesPass))
+	fmt.Fprintf(w, "  %-26s %10.4f %10.2f  %s\n", "pearson_r.stage_shares", c.StagePearsonR, c.PearsonFloor, verdict(c.StagePearsonR >= c.PearsonFloor))
+	fmt.Fprintf(w, "  %-26s %10.4f %10.2f  %s\n", "pearson_r.transfer_bytes", c.BytesPearsonR, c.PearsonFloor, verdict(c.BytesPearsonR >= c.PearsonFloor))
+	for _, h := range c.Headlines {
+		fmt.Fprintf(w, "  %-26s %9.2f%% %9.2f%%  %s  (paper %.2f%s, measured %.2f%s)\n",
+			"headline."+h.Name, h.ErrPct, h.BudgetPct, verdict(h.Pass), h.Paper, "", h.Measured, "")
+	}
+}
+
+func verdict(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// pearson returns the Pearson correlation coefficient of two
+// equal-length vectors; 0 when degenerate.
+func pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := mean(xs), mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,127 @@
+package lab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flux/internal/experiments"
+)
+
+func TestCalibratePasses(t *testing.T) {
+	cells, err := experiments.RunMatrixWorkers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(cells, DefaultCriteria())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cal.Pass {
+		var buf bytes.Buffer
+		cal.Render(&buf)
+		t.Fatalf("calibration fails on the clean matrix:\n%s", buf.String())
+	}
+	if len(cal.Stages) != 5 {
+		t.Fatalf("got %d stage rows, want 5", len(cal.Stages))
+	}
+	if cal.StagePearsonR < 0.98 || cal.BytesPearsonR < 0.98 {
+		t.Errorf("correlations below floor: stages %.4f, bytes %.4f", cal.StagePearsonR, cal.BytesPearsonR)
+	}
+	if len(cal.Headlines) != 3 {
+		t.Fatalf("got %d headline rows, want 3", len(cal.Headlines))
+	}
+	for _, h := range cal.Headlines {
+		if h.Measured <= 0 || h.Paper <= 0 {
+			t.Errorf("headline %s has empty values: %+v", h.Name, h)
+		}
+	}
+}
+
+// TestCalibrateFailsOnBudgetViolation: the acceptance criterion — the
+// run must FAIL when MAPE exceeds a per-metric budget.
+func TestCalibrateFailsOnBudgetViolation(t *testing.T) {
+	cells, err := experiments.RunMatrixWorkers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := DefaultCriteria()
+	crit.MaxStageMAPEPct = 0.0001 // far under the real ~0.2–0.8% MAPE
+	cal, err := Calibrate(cells, crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Pass {
+		t.Fatal("calibration passed with an unmeetable stage budget")
+	}
+	failed := 0
+	for _, r := range cal.Stages {
+		if !r.Pass {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("no stage row marked failing despite the tightened budget")
+	}
+
+	crit = DefaultCriteria()
+	crit.MinPearsonR = 1.1 // impossible
+	cal, err = Calibrate(cells, crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Pass || cal.PearsonPass {
+		t.Error("calibration passed an impossible correlation floor")
+	}
+}
+
+func TestCalibrateRejectsPartialMatrix(t *testing.T) {
+	cells, err := experiments.RunMatrixWorkers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one app entirely: a partial matrix must be an error, not a
+	// silently weaker gate.
+	label := cells[0].App.Spec.Label
+	var partial []experiments.Cell
+	for _, c := range cells {
+		if c.App.Spec.Label != label {
+			partial = append(partial, c)
+		}
+	}
+	if _, err := Calibrate(partial, DefaultCriteria()); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("partial matrix not rejected: %v", err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if r := pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); r < 0.9999 {
+		t.Errorf("perfect correlation: got %v", r)
+	}
+	if r := pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); r > -0.9999 {
+		t.Errorf("perfect anticorrelation: got %v", r)
+	}
+	if r := pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Errorf("degenerate vector: got %v, want 0", r)
+	}
+	if r := pearson([]float64{1}, []float64{1}); r != 0 {
+		t.Errorf("too-short vector: got %v, want 0", r)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if p := percentile(xs, 50); p != 3 {
+		t.Errorf("p50 of 1..5 = %v, want 3", p)
+	}
+	if p := percentile(xs, 99); p != 5 {
+		t.Errorf("p99 of 1..5 = %v, want 5", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Errorf("p50 of empty = %v, want 0", p)
+	}
+	// Input order must not matter.
+	if percentile([]float64{3, 1, 2}, 50) != percentile([]float64{1, 2, 3}, 50) {
+		t.Error("percentile depends on input order")
+	}
+}

@@ -1,0 +1,139 @@
+package lab
+
+// Counterfactual policy analysis, BLIS --counterfactual-k style: every
+// matrix cell is re-priced under the transfer policies NOT chosen —
+// streamed pipeline and post-copy deferral against the sequential
+// stop-and-copy default — and each cell's regret (chosen user-perceived
+// time minus the best mode's) is reported, worst K cells first. Because
+// every mode run is a closed deterministic simulation with identical
+// inputs, the regret is exact, not estimated.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"flux/internal/experiments"
+)
+
+// Mode names the transfer policies the analysis prices.
+const (
+	ModeSequential = "sequential"
+	ModePipelined  = "pipelined"
+	ModePostCopy   = "postcopy"
+)
+
+// ModeStat aggregates one policy across the matrix.
+type ModeStat struct {
+	Mode string `json:"mode"`
+	// WinCells counts cells where this mode has the (possibly tied)
+	// minimum user-perceived time.
+	WinCells int `json:"win_cells"`
+	// AvgUserS is the mode's mean user-perceived seconds.
+	AvgUserS float64 `json:"avg_user_s"`
+}
+
+// Regret is one cell's counterfactual verdict.
+type Regret struct {
+	App  string `json:"app"`
+	Pair string `json:"pair"`
+	// ChosenUserS is the default (sequential) mode's user-perceived
+	// seconds; BestMode/BestUserS name the cheapest policy for the cell.
+	ChosenUserS float64 `json:"chosen_user_s"`
+	BestMode    string  `json:"best_mode"`
+	BestUserS   float64 `json:"best_user_s"`
+	// RegretS is ChosenUserS − BestUserS: the exact user-perceived time
+	// the default policy leaves on the table for this cell.
+	RegretS float64 `json:"regret_s"`
+}
+
+// CounterfactualReport is the matrix-wide policy analysis.
+type CounterfactualReport struct {
+	// Chosen is the policy the default configuration runs.
+	Chosen string     `json:"chosen"`
+	Modes  []ModeStat `json:"modes"`
+	// TopRegret lists the K cells with the largest regret, descending;
+	// ties break on app then pair for determinism.
+	TopRegret []Regret `json:"top_regret"`
+	// TotalRegretS sums regret across all cells.
+	TotalRegretS float64 `json:"total_regret_s"`
+	// Cells is the matrix size the analysis covered.
+	Cells int `json:"cells"`
+}
+
+// Counterfactualize prices each baseline cell under all three modes.
+// The three slices must be the same matrix in the same order (the
+// experiments runner guarantees matrix order at any width).
+func Counterfactualize(seq, pip, post []experiments.Cell, k int) *CounterfactualReport {
+	rep := &CounterfactualReport{Chosen: ModeSequential, Cells: len(seq)}
+	stats := map[string]*ModeStat{
+		ModeSequential: {Mode: ModeSequential},
+		ModePipelined:  {Mode: ModePipelined},
+		ModePostCopy:   {Mode: ModePostCopy},
+	}
+	var regrets []Regret
+	for i := range seq {
+		users := map[string]float64{
+			ModeSequential: seq[i].Report.Timings.UserPerceived().Seconds(),
+			ModePipelined:  pip[i].Report.Timings.UserPerceived().Seconds(),
+			ModePostCopy:   post[i].Report.Timings.UserPerceived().Seconds(),
+		}
+		best, bestMode := users[ModeSequential], ModeSequential
+		for _, mode := range []string{ModePipelined, ModePostCopy} {
+			if users[mode] < best {
+				best, bestMode = users[mode], mode
+			}
+		}
+		for _, mode := range []string{ModeSequential, ModePipelined, ModePostCopy} {
+			stats[mode].AvgUserS += users[mode]
+			if users[mode] <= best {
+				stats[mode].WinCells++
+			}
+		}
+		regrets = append(regrets, Regret{
+			App:         seq[i].App.Spec.Label,
+			Pair:        seq[i].Pair.Name,
+			ChosenUserS: users[ModeSequential],
+			BestMode:    bestMode,
+			BestUserS:   best,
+			RegretS:     users[ModeSequential] - best,
+		})
+		rep.TotalRegretS += users[ModeSequential] - best
+	}
+	for _, mode := range []string{ModeSequential, ModePipelined, ModePostCopy} {
+		s := stats[mode]
+		if rep.Cells > 0 {
+			s.AvgUserS /= float64(rep.Cells)
+		}
+		rep.Modes = append(rep.Modes, *s)
+	}
+	sort.Slice(regrets, func(i, j int) bool {
+		if regrets[i].RegretS != regrets[j].RegretS {
+			return regrets[i].RegretS > regrets[j].RegretS
+		}
+		if regrets[i].App != regrets[j].App {
+			return regrets[i].App < regrets[j].App
+		}
+		return regrets[i].Pair < regrets[j].Pair
+	})
+	if k > len(regrets) {
+		k = len(regrets)
+	}
+	rep.TopRegret = regrets[:k]
+	return rep
+}
+
+// Render writes the counterfactual table.
+func (c *CounterfactualReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Counterfactual policy analysis (%d cells, chosen mode: %s):\n", c.Cells, c.Chosen)
+	fmt.Fprintf(w, "  %-12s %10s %10s\n", "MODE", "WINS", "AVG USER")
+	for _, m := range c.Modes {
+		fmt.Fprintf(w, "  %-12s %10d %9.2fs\n", m.Mode, m.WinCells, m.AvgUserS)
+	}
+	fmt.Fprintf(w, "  total regret of %s across the matrix: %.2f s\n", c.Chosen, c.TotalRegretS)
+	fmt.Fprintf(w, "  worst %d cells by regret:\n", len(c.TopRegret))
+	for _, r := range c.TopRegret {
+		fmt.Fprintf(w, "    %-20s %-30s chosen %6.2fs, best %-10s %6.2fs, regret %5.2fs\n",
+			r.App, r.Pair, r.ChosenUserS, r.BestMode, r.BestUserS, r.RegretS)
+	}
+}

@@ -1,0 +1,243 @@
+package lab
+
+// fluxlab diff: compare two trajectory records and flag regressions
+// beyond tolerance. Because lab reports are deterministic for a fixed
+// (spec, seed), the expected diff between two healthy runs of the same
+// commit is empty; the tolerance exists for cross-commit comparisons
+// where intentional model changes shift timings slightly. Anything past
+// tolerance in the bad direction is a regression and fails the diff —
+// this is the CI bench-smoke gate.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DefaultDiffTolerancePct is the relative drift allowed per metric
+// before a change counts as a regression or improvement.
+const DefaultDiffTolerancePct = 2.0
+
+// DiffLine is one flagged metric change.
+type DiffLine struct {
+	// Cell is the sweep-cell ID, or "signals"/"calibration" for
+	// non-cell rows.
+	Cell string `json:"cell"`
+	// Metric names the changed quantity ("total_p50_s", "stage_p99_s.xfer",
+	// "signal.pipeline.byte_identical", ...).
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// DeltaPct is the relative change in percent, signed.
+	DeltaPct float64 `json:"delta_pct"`
+	// Regression is true when the change is in the bad direction beyond
+	// tolerance; false marks an improvement beyond tolerance.
+	Regression bool   `json:"regression"`
+	Note       string `json:"note,omitempty"`
+}
+
+// DiffReport is the comparison of two lab reports.
+type DiffReport struct {
+	TolerancePct float64    `json:"tolerance_pct"`
+	SpecMatch    bool       `json:"spec_match"`
+	Regressions  []DiffLine `json:"regressions"`
+	Improvements []DiffLine `json:"improvements"`
+	// CellsCompared counts sweep cells present in both reports.
+	CellsCompared int `json:"cells_compared"`
+}
+
+// Failed reports whether the diff found any regression.
+func (d *DiffReport) Failed() bool { return len(d.Regressions) > 0 }
+
+// metricDir says which direction is bad for a metric family.
+type metricDir int
+
+const (
+	higherWorse metricDir = iota // timings, wire bytes, retries
+	lowerWorse                   // cache savings
+)
+
+// Diff compares old→new cell-by-cell and signal-by-signal.
+// tolerancePct ≤ 0 selects DefaultDiffTolerancePct.
+func Diff(old, new *Report, tolerancePct float64) *DiffReport {
+	if tolerancePct <= 0 {
+		tolerancePct = DefaultDiffTolerancePct
+	}
+	d := &DiffReport{
+		TolerancePct: tolerancePct,
+		SpecMatch:    old.SpecHash == new.SpecHash,
+	}
+
+	oldCells := make(map[string]CellStats, len(old.Cells))
+	for _, c := range old.Cells {
+		oldCells[c.ID] = c
+	}
+	newCells := make(map[string]CellStats, len(new.Cells))
+	for _, c := range new.Cells {
+		newCells[c.ID] = c
+	}
+	for _, oc := range old.Cells {
+		nc, ok := newCells[oc.ID]
+		if !ok {
+			d.Regressions = append(d.Regressions, DiffLine{
+				Cell: oc.ID, Metric: "cell", Regression: true,
+				Note: "cell present in old record but missing from new",
+			})
+			continue
+		}
+		d.CellsCompared++
+		d.diffCell(oc, nc)
+	}
+	for _, nc := range new.Cells {
+		if _, ok := oldCells[nc.ID]; !ok {
+			d.Improvements = append(d.Improvements, DiffLine{
+				Cell: nc.ID, Metric: "cell", Note: "new cell (not in old record)",
+			})
+		}
+	}
+
+	d.diffSignals(old, new)
+	d.diffCalibration(old, new)
+
+	sortLines := func(ls []DiffLine) {
+		sort.Slice(ls, func(i, j int) bool {
+			ai, aj := math.Abs(ls[i].DeltaPct), math.Abs(ls[j].DeltaPct)
+			if ai != aj {
+				return ai > aj
+			}
+			if ls[i].Cell != ls[j].Cell {
+				return ls[i].Cell < ls[j].Cell
+			}
+			return ls[i].Metric < ls[j].Metric
+		})
+	}
+	sortLines(d.Regressions)
+	sortLines(d.Improvements)
+	return d
+}
+
+func (d *DiffReport) compare(cell, metric string, oldV, newV float64, dir metricDir) {
+	if oldV == newV {
+		return
+	}
+	var deltaPct float64
+	switch {
+	case oldV != 0:
+		deltaPct = 100 * (newV - oldV) / math.Abs(oldV)
+	case newV > 0:
+		deltaPct = math.Inf(1)
+	default:
+		deltaPct = math.Inf(-1)
+	}
+	if math.Abs(deltaPct) <= d.TolerancePct {
+		return
+	}
+	worse := deltaPct > 0
+	if dir == lowerWorse {
+		worse = deltaPct < 0
+	}
+	line := DiffLine{Cell: cell, Metric: metric, Old: oldV, New: newV, DeltaPct: deltaPct, Regression: worse}
+	if worse {
+		d.Regressions = append(d.Regressions, line)
+	} else {
+		d.Improvements = append(d.Improvements, line)
+	}
+}
+
+func (d *DiffReport) diffCell(oc, nc CellStats) {
+	id := oc.ID
+	for s := 0; s < 5; s++ {
+		d.compare(id, "stage_p50_s."+stageShort[s], oc.StageP50S[s], nc.StageP50S[s], higherWorse)
+		d.compare(id, "stage_p99_s."+stageShort[s], oc.StageP99S[s], nc.StageP99S[s], higherWorse)
+	}
+	d.compare(id, "total_p50_s", oc.TotalP50S, nc.TotalP50S, higherWorse)
+	d.compare(id, "total_p99_s", oc.TotalP99S, nc.TotalP99S, higherWorse)
+	d.compare(id, "user_p50_s", oc.UserP50S, nc.UserP50S, higherWorse)
+	d.compare(id, "user_p99_s", oc.UserP99S, nc.UserP99S, higherWorse)
+	d.compare(id, "wire_bytes", float64(oc.WireBytes), float64(nc.WireBytes), higherWorse)
+	d.compare(id, "wire_p99_b", float64(oc.WireP99B), float64(nc.WireP99B), higherWorse)
+	d.compare(id, "retransmit_bytes", float64(oc.RetransmitBytes), float64(nc.RetransmitBytes), higherWorse)
+	d.compare(id, "cache_bytes_not_shipped", float64(oc.CacheBytesNotShipped), float64(nc.CacheBytesNotShipped), lowerWorse)
+}
+
+func (d *DiffReport) diffSignals(old, new *Report) {
+	oldByName := make(map[string]Signal, len(old.Signals))
+	for _, s := range old.Signals {
+		oldByName[s.Name] = s
+	}
+	newByName := make(map[string]Signal, len(new.Signals))
+	for _, s := range new.Signals {
+		newByName[s.Name] = s
+	}
+	for _, os := range old.Signals {
+		ns, ok := newByName[os.Name]
+		switch {
+		case !ok:
+			d.Regressions = append(d.Regressions, DiffLine{
+				Cell: "signals", Metric: "signal." + os.Name, Regression: true,
+				Note: "signal dropped from the catalog",
+			})
+		case os.Pass && !ns.Pass:
+			d.Regressions = append(d.Regressions, DiffLine{
+				Cell: "signals", Metric: "signal." + os.Name, Old: 1, New: 0, Regression: true,
+				Note: "signal regressed to FAIL: " + ns.Evidence,
+			})
+		case !os.Pass && ns.Pass:
+			d.Improvements = append(d.Improvements, DiffLine{
+				Cell: "signals", Metric: "signal." + os.Name, Old: 0, New: 1,
+				Note: "signal now passes",
+			})
+		}
+	}
+	for _, ns := range new.Signals {
+		if _, ok := oldByName[ns.Name]; !ok && !ns.Pass {
+			d.Regressions = append(d.Regressions, DiffLine{
+				Cell: "signals", Metric: "signal." + ns.Name, Regression: true,
+				Note: "new signal fails: " + ns.Evidence,
+			})
+		}
+	}
+}
+
+func (d *DiffReport) diffCalibration(old, new *Report) {
+	if old.Calibration == nil || new.Calibration == nil {
+		return
+	}
+	oc, nc := old.Calibration, new.Calibration
+	for i, or := range oc.Stages {
+		if i < len(nc.Stages) {
+			d.compare("calibration", "stage_mape_pct."+or.Stage, or.MAPEPct, nc.Stages[i].MAPEPct, higherWorse)
+		}
+	}
+	d.compare("calibration", "bytes_mape_pct", oc.BytesMAPEPct, nc.BytesMAPEPct, higherWorse)
+	d.compare("calibration", "stage_pearson_r", oc.StagePearsonR, nc.StagePearsonR, lowerWorse)
+	d.compare("calibration", "bytes_pearson_r", oc.BytesPearsonR, nc.BytesPearsonR, lowerWorse)
+}
+
+// Render writes the diff verdict and flagged lines.
+func (d *DiffReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "fluxlab diff: %d cells compared, tolerance ±%.1f%%\n", d.CellsCompared, d.TolerancePct)
+	if !d.SpecMatch {
+		fmt.Fprintln(w, "  note: spec hashes differ — comparing different experiment definitions")
+	}
+	if len(d.Regressions) == 0 && len(d.Improvements) == 0 {
+		fmt.Fprintln(w, "  no drift beyond tolerance")
+		return
+	}
+	writeLines := func(title string, ls []DiffLine) {
+		if len(ls) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "  %s (%d):\n", title, len(ls))
+		for _, l := range ls {
+			if l.Note != "" {
+				fmt.Fprintf(w, "    %-60s %-28s %s\n", l.Cell, l.Metric, l.Note)
+				continue
+			}
+			fmt.Fprintf(w, "    %-60s %-28s %12g -> %-12g (%+.1f%%)\n", l.Cell, l.Metric, l.Old, l.New, l.DeltaPct)
+		}
+	}
+	writeLines("REGRESSIONS", d.Regressions)
+	writeLines("improvements", d.Improvements)
+}

@@ -1,0 +1,221 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func cloneReport(t *testing.T, rep *Report) *Report {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestDiffDetectsSlowdown: the acceptance criterion — a seeded 10%
+// stage-timing slowdown in one cell must be flagged as a regression.
+func TestDiffDetectsSlowdown(t *testing.T) {
+	rep, _ := sharedRun(t)
+	slow := cloneReport(t, rep)
+	c := &slow.Cells[0]
+	for s := 0; s < 5; s++ {
+		c.StageP50S[s] *= 1.10
+		c.StageP99S[s] *= 1.10
+	}
+	c.TotalP50S *= 1.10
+	c.TotalP99S *= 1.10
+	c.UserP50S *= 1.10
+	c.UserP99S *= 1.10
+
+	d := Diff(rep, slow, 5)
+	if !d.Failed() {
+		t.Fatal("10% slowdown at 5% tolerance not flagged")
+	}
+	var sawTotal bool
+	for _, l := range d.Regressions {
+		if l.Cell == c.ID && l.Metric == "total_p50_s" {
+			sawTotal = true
+			if l.DeltaPct < 9 || l.DeltaPct > 11 {
+				t.Errorf("delta %.2f%%, want ≈ +10%%", l.DeltaPct)
+			}
+		}
+		if !l.Regression {
+			t.Errorf("line in Regressions not marked regression: %+v", l)
+		}
+	}
+	if !sawTotal {
+		t.Errorf("total_p50_s regression not reported; got %+v", d.Regressions)
+	}
+
+	// The same slowdown read in the other direction is an improvement,
+	// not a regression.
+	rev := Diff(slow, rep, 5)
+	if rev.Failed() {
+		t.Errorf("speedup flagged as regression: %+v", rev.Regressions)
+	}
+	if len(rev.Improvements) == 0 {
+		t.Error("speedup not reported as improvement")
+	}
+}
+
+func TestDiffWithinToleranceClean(t *testing.T) {
+	rep, _ := sharedRun(t)
+	near := cloneReport(t, rep)
+	near.Cells[0].TotalP50S *= 1.01 // +1% at 2% tolerance
+	d := Diff(rep, near, 0)         // 0 selects the default 2%
+	if d.Failed() || len(d.Improvements) != 0 {
+		t.Errorf("1%% drift at ±2%% tolerance flagged: %+v / %+v", d.Regressions, d.Improvements)
+	}
+	if d.TolerancePct != DefaultDiffTolerancePct {
+		t.Errorf("tolerance %v, want default %v", d.TolerancePct, DefaultDiffTolerancePct)
+	}
+}
+
+func TestDiffIdenticalReportsClean(t *testing.T) {
+	rep, _ := sharedRun(t)
+	d := Diff(rep, cloneReport(t, rep), 0)
+	if d.Failed() || len(d.Improvements) != 0 {
+		t.Errorf("identical reports diff dirty: %+v / %+v", d.Regressions, d.Improvements)
+	}
+	if !d.SpecMatch {
+		t.Error("identical reports report spec mismatch")
+	}
+	if d.CellsCompared != len(rep.Cells) {
+		t.Errorf("compared %d cells, want %d", d.CellsCompared, len(rep.Cells))
+	}
+}
+
+func TestDiffFlagsSignalRegression(t *testing.T) {
+	rep, _ := sharedRun(t)
+	bad := cloneReport(t, rep)
+	bad.Signals[3].Pass = false
+	d := Diff(rep, bad, 0)
+	if !d.Failed() {
+		t.Fatal("signal flip pass→fail not flagged")
+	}
+	want := "signal." + bad.Signals[3].Name
+	found := false
+	for _, l := range d.Regressions {
+		if l.Metric == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("regressions missing %s: %+v", want, d.Regressions)
+	}
+
+	// A dropped signal is a regression too — the catalog must not shrink
+	// silently.
+	shrunk := cloneReport(t, rep)
+	shrunk.Signals = shrunk.Signals[1:]
+	if !Diff(rep, shrunk, 0).Failed() {
+		t.Error("dropped signal not flagged")
+	}
+}
+
+func TestDiffMissingCell(t *testing.T) {
+	rep, _ := sharedRun(t)
+	partial := cloneReport(t, rep)
+	partial.Cells = partial.Cells[1:]
+	d := Diff(rep, partial, 0)
+	if !d.Failed() {
+		t.Fatal("missing cell not flagged")
+	}
+}
+
+func TestDiffRender(t *testing.T) {
+	rep, _ := sharedRun(t)
+	slow := cloneReport(t, rep)
+	slow.Cells[0].TotalP50S *= 1.5
+	d := Diff(rep, slow, 0)
+	var buf bytes.Buffer
+	d.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSIONS") || !strings.Contains(out, "total_p50_s") {
+		t.Errorf("render missing regression section:\n%s", out)
+	}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	rep, _ := sharedRun(t)
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+	rec := NewRecord(rep, 2, t.TempDir())
+	if err := AppendRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendRecord(path, NewRecord(rep, 4, t.TempDir())); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Workers != 2 || recs[1].Workers != 4 {
+		t.Errorf("provenance lost: %+v", recs)
+	}
+	latest, err := LatestRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Workers != 4 {
+		t.Errorf("latest record is not the last appended: %+v", latest)
+	}
+	// The deterministic payload survives the round trip bit-for-bit.
+	want, _ := json.Marshal(rep)
+	got, _ := json.Marshal(latest.Report)
+	if !bytes.Equal(want, got) {
+		t.Error("report mutated through the trajectory file")
+	}
+}
+
+func TestTrajectoryRejectsNewerSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	if err := os.WriteFile(path, []byte(`[{"schema": 99, "report": {"schema": 1}}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrajectory(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("newer schema not rejected: %v", err)
+	}
+}
+
+func TestGitSHA(t *testing.T) {
+	dir := t.TempDir()
+	if got := GitSHA(dir); got != "" {
+		t.Errorf("non-repo dir returned SHA %q", got)
+	}
+	git := filepath.Join(dir, ".git")
+	if err := os.MkdirAll(filepath.Join(git, "refs", "heads"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const sha = "0123456789abcdef0123456789abcdef01234567"
+	// Symbolic HEAD with a loose ref.
+	os.WriteFile(filepath.Join(git, "HEAD"), []byte("ref: refs/heads/main\n"), 0o644)
+	os.WriteFile(filepath.Join(git, "refs", "heads", "main"), []byte(sha+"\n"), 0o644)
+	if got := GitSHA(dir); got != sha {
+		t.Errorf("loose ref: got %q", got)
+	}
+	// Packed ref.
+	os.Remove(filepath.Join(git, "refs", "heads", "main"))
+	os.WriteFile(filepath.Join(git, "packed-refs"), []byte("# pack-refs\n"+sha+" refs/heads/main\n"), 0o644)
+	if got := GitSHA(dir); got != sha {
+		t.Errorf("packed ref: got %q", got)
+	}
+	// Detached HEAD.
+	os.WriteFile(filepath.Join(git, "HEAD"), []byte(sha+"\n"), 0o644)
+	if got := GitSHA(dir); got != sha {
+		t.Errorf("detached HEAD: got %q", got)
+	}
+}

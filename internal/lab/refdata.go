@@ -1,0 +1,80 @@
+package lab
+
+// The checked-in calibration reference: the paper's evaluation numbers
+// the simulation is scored against on every lab run.
+//
+// Two tiers with very different epistemic standing:
+//
+//   - RefApps pins the per-app Figure 13 stage-share breakdown (percent
+//     of total migration time spent in each of the five stages, averaged
+//     over the four device pairs) and the Figure 15 / Table 3 per-app
+//     transfer sizes, digitized at the published figures' resolution
+//     (0.1 percentage point, 10 KB). The simulation's device and link
+//     models were fitted to these shapes in PRs 0–3; the calibration
+//     gate exists so no later PR silently un-fits them. Budgets here are
+//     tight (Criteria.MaxStageMAPEPct / MaxBytesMAPEPct, default 5%).
+//   - RefHeadlines pins the §4 headline aggregates exactly as the paper
+//     states them (7.88 s average migration, 1.35 s excluding transfer,
+//     ~5.8 s user-perceived). The simulation idealizes host effects the
+//     paper's hardware pays for (thermal throttling, WiFi contention
+//     beyond the shared-AP model), so it runs systematically faster;
+//     the budget is correspondingly loose (MaxHeadlineMAPEPct, default
+//     40%) and the gate guards against drift, not against the offset.
+type RefApp struct {
+	// Label matches apps.App.Spec.Label.
+	Label string
+	// StageSharePct is Figure 13's per-stage percentage of total time:
+	// preparation, checkpoint, transfer, restore, reintegration.
+	StageSharePct [5]float64
+	// TransferMB is Figure 15's per-app wire size in MB, averaged over
+	// the four pairs.
+	TransferMB float64
+}
+
+// RefHeadline is one §4 aggregate with the paper's stated value.
+type RefHeadline struct {
+	Name  string
+	Paper float64
+	Unit  string
+}
+
+// RefApps returns the per-app Figure 13/Figure 15 reference rows in
+// catalog order.
+func RefApps() []RefApp {
+	return []RefApp{
+		{"Bible", [5]float64{12.2, 3.7, 64.7, 10.9, 8.6}, 4.00},
+		{"Bubble Witch Saga", [5]float64{5.8, 2.7, 81.6, 5.5, 4.5}, 12.48},
+		{"Candy Crush Saga", [5]float64{5.8, 2.8, 81.6, 5.4, 4.4}, 12.88},
+		{"eBay", [5]float64{11.2, 3.5, 67.3, 10.0, 8.0}, 4.62},
+		{"Flappy Bird", [5]float64{20.1, 4.3, 44.9, 16.7, 14.0}, 1.52},
+		{"Surpax Flashlight", [5]float64{22.7, 4.6, 37.9, 18.8, 15.9}, 1.05},
+		{"GroupOn", [5]float64{12.9, 3.7, 63.1, 11.3, 9.1}, 3.69},
+		{"Instagram", [5]float64{8.6, 3.0, 74.5, 7.7, 6.2}, 7.05},
+		{"Netflix", [5]float64{9.9, 3.3, 70.9, 8.8, 7.1}, 5.72},
+		{"Pinterest", [5]float64{9.1, 3.1, 73.0, 8.2, 6.5}, 6.44},
+		{"Snapchat", [5]float64{10.9, 3.2, 68.6, 9.5, 7.7}, 4.90},
+		{"Skype", [5]float64{9.4, 3.3, 72.1, 8.6, 6.6}, 6.02},
+		{"Twitter", [5]float64{10.8, 3.3, 68.7, 9.6, 7.7}, 4.95},
+		{"Vine", [5]float64{10.0, 3.2, 70.8, 8.8, 7.2}, 5.64},
+		{"WhatsApp", [5]float64{13.6, 3.7, 61.2, 11.8, 9.7}, 3.36},
+		{"ZEDGE", [5]float64{13.8, 3.7, 60.8, 12.0, 9.7}, 3.28},
+	}
+}
+
+// RefHeadlines returns the §4 headline aggregates as the paper states
+// them.
+func RefHeadlines() []RefHeadline {
+	return []RefHeadline{
+		{Name: "avg_migration_s", Paper: 7.88, Unit: "s"},
+		{Name: "avg_user_perceived_s", Paper: 5.8, Unit: "s"},
+		{Name: "avg_excl_transfer_s", Paper: 1.35, Unit: "s"},
+	}
+}
+
+// PaperMaxTransferMB is the paper's stated wire ceiling across the
+// matrix ("no app transferred more than 14 MB").
+const PaperMaxTransferMB = 14.0
+
+// PaperTransferSharePct is the paper's floor on the transfer stage's
+// share of total migration time ("more than 50%").
+const PaperTransferSharePct = 50.0

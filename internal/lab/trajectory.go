@@ -1,0 +1,145 @@
+package lab
+
+// Trajectory records: the append-only history of lab runs the repo
+// accumulates in BENCH_trajectory.json. Each entry wraps one
+// deterministic lab Report with the provenance that deliberately stays
+// out of the report — wall-clock generation time, the git commit, and
+// the execution width — so successive PRs can diff the deterministic
+// payload while still knowing where each record came from.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// TrajectorySchemaVersion versions the trajectory-file layout.
+const TrajectorySchemaVersion = 1
+
+// Record is one trajectory entry.
+type Record struct {
+	Schema int `json:"schema"`
+	// GeneratedAt is the wall-clock record time (RFC 3339, UTC).
+	// Provenance only — never part of a diff.
+	GeneratedAt string `json:"generated_at"`
+	// GitSHA is the repository HEAD at record time ("" outside a repo).
+	GitSHA string `json:"git_sha,omitempty"`
+	// Workers is the execution width the run used. It never changes the
+	// report; it is recorded so wall-clock anomalies can be explained.
+	Workers int `json:"workers"`
+	// Report is the deterministic payload.
+	Report *Report `json:"report"`
+}
+
+// NewRecord wraps a report with provenance. dir is the repository root
+// to read the git SHA from (usually ".").
+func NewRecord(rep *Report, workers int, dir string) Record {
+	return Record{
+		Schema: TrajectorySchemaVersion,
+		//fluxvet:allow wallclock — record provenance timestamp; never compared against virtual time
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GitSHA:      GitSHA(dir),
+		Workers:     workers,
+		Report:      rep,
+	}
+}
+
+// GitSHA resolves HEAD by reading .git directly — no subprocess, so it
+// works in the same sandbox the tests run in. Returns "" when dir is not
+// a git checkout or the ref is unreadable.
+func GitSHA(dir string) string {
+	head, err := os.ReadFile(filepath.Join(dir, ".git", "HEAD"))
+	if err != nil {
+		return ""
+	}
+	ref := strings.TrimSpace(string(head))
+	if !strings.HasPrefix(ref, "ref: ") {
+		return ref // detached HEAD: the file holds the SHA itself
+	}
+	ref = strings.TrimPrefix(ref, "ref: ")
+	if sha, err := os.ReadFile(filepath.Join(dir, ".git", ref)); err == nil {
+		return strings.TrimSpace(string(sha))
+	}
+	// Ref may be packed.
+	packed, err := os.ReadFile(filepath.Join(dir, ".git", "packed-refs"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(packed), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] == ref {
+			return fields[0]
+		}
+	}
+	return ""
+}
+
+// LoadTrajectory reads every record from a trajectory file. The file is
+// a JSON array of records.
+func LoadTrajectory(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lab: reading trajectory: %w", err)
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("lab: parsing trajectory %s: %w", path, err)
+	}
+	for i, r := range recs {
+		if r.Schema > TrajectorySchemaVersion {
+			return nil, fmt.Errorf("lab: trajectory %s record %d has schema %d, newer than supported %d",
+				path, i, r.Schema, TrajectorySchemaVersion)
+		}
+		if r.Report == nil {
+			return nil, fmt.Errorf("lab: trajectory %s record %d has no report", path, i)
+		}
+	}
+	return recs, nil
+}
+
+// LatestRecord returns the file's newest record (entries are appended in
+// order, so the last one).
+func LatestRecord(path string) (Record, error) {
+	recs, err := LoadTrajectory(path)
+	if err != nil {
+		return Record{}, err
+	}
+	if len(recs) == 0 {
+		return Record{}, fmt.Errorf("lab: trajectory %s is empty", path)
+	}
+	return recs[len(recs)-1], nil
+}
+
+// AppendRecord appends rec to the trajectory at path, creating the file
+// when missing. The write is atomic (temp file + rename).
+func AppendRecord(path string, rec Record) error {
+	var recs []Record
+	if _, err := os.Stat(path); err == nil {
+		recs, err = LoadTrajectory(path)
+		if err != nil {
+			return err
+		}
+	}
+	recs = append(recs, rec)
+	return WriteTrajectory(path, recs)
+}
+
+// WriteTrajectory serializes records as indented JSON at path,
+// atomically.
+func WriteTrajectory(path string, recs []Record) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		return fmt.Errorf("lab: marshaling trajectory: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("lab: writing trajectory: %w", err)
+	}
+	return os.Rename(tmp, path)
+}

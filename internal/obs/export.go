@@ -125,20 +125,25 @@ func (t *Tracer) WriteChromeTraceFile(path string) error {
 // ---------------------------------------------------------------------------
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (version 0.0.4): # HELP / # TYPE headers, one line per series,
-// histograms as cumulative _bucket/_sum/_count series.
+// format (version 0.0.4): # HELP / # TYPE headers for every family, one
+// line per series, histograms as cumulative _bucket/_sum/_count series.
+// Metric and label names are sanitized to the format's charset and label
+// values escaped per the spec, so a hostile or merely unusual
+// instrumentation string (spaces, dashes, quotes, newlines) can never
+// corrupt the exposition.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, fam := range r.Snapshot() {
+		name := sanitizeMetricName(fam.Name)
 		help := fam.Help
 		if help == "" {
 			help = fam.Name
 		}
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
-			fam.Name, escapeHelp(help), fam.Name, fam.Type); err != nil {
+			name, escapeHelp(help), name, fam.Type); err != nil {
 			return err
 		}
 		for _, pt := range fam.Series {
-			if err := writePromSeries(w, fam, pt); err != nil {
+			if err := writePromSeries(w, name, fam, pt); err != nil {
 				return err
 			}
 		}
@@ -146,9 +151,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writePromSeries(w io.Writer, fam FamilySnapshot, pt SeriesPoint) error {
+func writePromSeries(w io.Writer, name string, fam FamilySnapshot, pt SeriesPoint) error {
 	if fam.Type != TypeHistogram {
-		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.Name, promLabels(pt.Labels, "", 0), promFloat(pt.Value))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabels(pt.Labels, "", 0), promFloat(pt.Value))
 		return err
 	}
 	if pt.Hist == nil {
@@ -157,17 +162,17 @@ func writePromSeries(w io.Writer, fam FamilySnapshot, pt SeriesPoint) error {
 	cum := uint64(0)
 	for i, ub := range pt.Hist.Buckets {
 		cum += pt.Hist.Counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, promLabels(pt.Labels, "le", ub), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(pt.Labels, "le", ub), cum); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, promLabels(pt.Labels, "le", math.Inf(1)), pt.Hist.Count); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(pt.Labels, "le", math.Inf(1)), pt.Hist.Count); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.Name, promLabels(pt.Labels, "", 0), promFloat(pt.Hist.Sum)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(pt.Labels, "", 0), promFloat(pt.Hist.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.Name, promLabels(pt.Labels, "", 0), pt.Hist.Count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(pt.Labels, "", 0), pt.Hist.Count)
 	return err
 }
 
@@ -182,15 +187,94 @@ func promLabels(labels []string, leKey string, le float64) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", labels[i], escapeLabel(labels[i+1]))
+		b.WriteString(sanitizeLabelName(labels[i]))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[i+1]))
+		b.WriteByte('"')
 	}
 	if leKey != "" {
 		if len(labels) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", leKey, promFloat(le))
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(promFloat(le))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// sanitizeMetricName maps a family name onto the exposition format's
+// metric charset [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every other byte
+// with '_'. An empty name becomes "_".
+func sanitizeMetricName(s string) string {
+	return sanitizeName(s, true)
+}
+
+// sanitizeLabelName maps a label key onto [a-zA-Z_][a-zA-Z0-9_]* (no
+// colons — those are reserved for metric names).
+func sanitizeLabelName(s string) string {
+	return sanitizeName(s, false)
+}
+
+func sanitizeName(s string, allowColon bool) string {
+	if s == "" {
+		return "_"
+	}
+	ok := func(c byte, first bool) bool {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			return true
+		case c == ':':
+			return allowColon
+		case c >= '0' && c <= '9':
+			return !first
+		}
+		return false
+	}
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if !ok(s[i], i == 0) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	out := []byte(s)
+	for i := range out {
+		if !ok(out[i], i == 0) {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote, and newline get backslash escapes; everything
+// else — including raw UTF-8 — passes through untouched. (The previous
+// %q rendering also escaped tabs and non-ASCII, which scrapers then
+// showed double-escaped.)
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
 	return b.String()
 }
 
@@ -207,11 +291,6 @@ func promFloat(v float64) string {
 	default:
 		return fmt.Sprintf("%g", v)
 	}
-}
-
-func escapeLabel(s string) string {
-	// %q already escapes \ and "; nothing further needed.
-	return s
 }
 
 func escapeHelp(s string) string {

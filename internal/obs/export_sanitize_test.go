@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"flux_ok_total":      "flux_ok_total", // already clean: returned as-is
+		"flux:recorded":      "flux:recorded", // colons are legal in metric names
+		"flux-dashed.name":   "flux_dashed_name",
+		"0starts_with_digit": "_starts_with_digit",
+		"has space":          "has_space",
+		"newline\nname":      "newline_name",
+		"quote\"name":        "quote_name",
+		"héllo":              "h__llo", // exposition metric names are ASCII; é is two bytes
+		"":                   "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSanitizeLabelName(t *testing.T) {
+	cases := map[string]string{
+		"service":    "service",
+		"le":         "le",
+		"with:colon": "with_colon", // colons are metric-name-only
+		"1st":        "_st",
+		"a-b":        "a_b",
+	}
+	for in, want := range cases {
+		if got := sanitizeLabelName(in); got != want {
+			t.Errorf("sanitizeLabelName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":          "plain",
+		`back\slash`:     `back\\slash`,
+		`say "hi"`:       `say \"hi\"`,
+		"two\nlines":     `two\nlines`,
+		"tab\tstays":     "tab\tstays",     // the spec escapes only \ " \n
+		"héllo → wörld":  "héllo → wörld",  // raw UTF-8 passes through
+		"\\n is literal": `\\n is literal`, // a literal backslash-n doubles the backslash
+		"mix\"\n\\":      "mix\\\"\\n\\\\", // all three escapes together
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusHostileLabels: a registry fed unusual names and values
+// still produces a well-formed exposition with HELP/TYPE for every
+// family.
+func TestPrometheusHostileLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flux-bad-name_total", "app label", `Candy "Crush" Saga`).Add(1)
+	r.Counter("flux-bad-name_total", "app label", "two\nlines").Add(2)
+	r.Gauge("flux_unicode_gauge", "app", "héllo → wörld").Set(7)
+	r.Histogram("flux_hostile_seconds", []float64{1}, "stage", `x\y`).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP flux_bad_name_total",
+		"# TYPE flux_bad_name_total counter",
+		`flux_bad_name_total{app_label="Candy \"Crush\" Saga"} 1`,
+		`flux_bad_name_total{app_label="two\nlines"} 2`,
+		`flux_unicode_gauge{app="héllo → wörld"} 7`,
+		"# TYPE flux_hostile_seconds histogram",
+		`flux_hostile_seconds_bucket{stage="x\\y",le="1"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, text)
+		}
+	}
+	// No raw newline may survive inside a series line: every line must be
+	// a comment or `series value`.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("series line split by unescaped newline: %q", line)
+		}
+	}
+	checkPromWellFormed(t, text)
+}
+
+// TestPrometheusEveryFamilyHasHeaders: each family in the snapshot
+// appears with both # HELP and # TYPE even when never Describe()d.
+func TestPrometheusEveryFamilyHasHeaders(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flux_undescribed_total").Add(1)
+	r.Gauge("flux_undescribed_gauge").Set(1)
+	r.Histogram("flux_undescribed_seconds", []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, fam := range []string{"flux_undescribed_total", "flux_undescribed_gauge", "flux_undescribed_seconds"} {
+		if !strings.Contains(text, "# HELP "+fam+" ") {
+			t.Errorf("family %s missing # HELP", fam)
+		}
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Errorf("family %s missing # TYPE", fam)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+// Golden-file tests for the exporters: a fixed synthetic span tree and
+// registry render byte-identically on every run (no wall-clock leaks
+// into the output) and match the goldens committed under testdata/.
+// Regenerate with:
+//
+//	go test ./internal/obs -run TestGolden -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenSpans builds the fixture span tree from literals — every wall
+// and virtual timestamp pinned, so the exporters have no source of
+// nondeterminism to leak.
+func goldenSpans() []SpanData {
+	wall := time.Date(2015, 4, 21, 9, 0, 0, 0, time.UTC)
+	virt := time.Date(2015, 4, 21, 10, 0, 0, 0, time.UTC)
+	return []SpanData{
+		{
+			ID: 1, Root: 1, Name: "migrate",
+			StartWall: wall, EndWall: wall.Add(3 * time.Millisecond),
+			StartVirt: virt, EndVirt: virt.Add(10 * time.Second),
+			Attrs: []Attr{String("pkg", "com.example"), Bool("pipelined", false)},
+		},
+		{
+			ID: 2, Parent: 1, Root: 1, Name: "stage.preparation",
+			StartWall: wall, EndWall: wall.Add(time.Millisecond),
+			StartVirt: virt, EndVirt: virt.Add(750 * time.Millisecond),
+		},
+		{
+			ID: 3, Parent: 1, Root: 1, Name: "stage.transfer",
+			StartWall: wall.Add(time.Millisecond), EndWall: wall.Add(2 * time.Millisecond),
+			StartVirt: virt.Add(750 * time.Millisecond), EndVirt: virt.Add(9750 * time.Millisecond),
+			Attrs: []Attr{Int64("bytes", 1<<20), Float64("mbps", 54.0)},
+		},
+	}
+}
+
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Describe("flux_golden_total", "migrations observed")
+	r.Counter("flux_golden_total", "service", "alarm").Add(3)
+	r.Counter("flux_golden_total", "service", "audio").Add(1)
+	r.Gauge("flux_golden_gauge").Set(-4)
+	h := r.Histogram("flux_golden_seconds", []float64{0.1, 1, 10}, "stage", "transfer")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(99)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, render func() []byte) {
+	t.Helper()
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("%s: two renders of the same input differ", name)
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v (run with -update to create)", name, err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("%s: output drifted from golden; rerun with -update and review the diff\n--- got ---\n%s\n--- want ---\n%s",
+			name, first, want)
+	}
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, goldenSpans()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	out := render()
+	if !json.Valid(out) {
+		t.Fatalf("chrome trace is not valid JSON:\n%s", out)
+	}
+	checkGolden(t, "chrome_trace.golden.json", render)
+}
+
+func TestGoldenMetricsJSON(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, goldenSpans(), goldenRegistry().Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	out := render()
+	if !json.Valid(out) {
+		t.Fatalf("JSON dump is not valid JSON:\n%s", out)
+	}
+	checkGolden(t, "dump.golden.json", render)
+}
+
+func TestGoldenPrometheus(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	checkGolden(t, "prometheus.golden.txt", render)
+}

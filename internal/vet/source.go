@@ -95,6 +95,7 @@ func DefaultSourceConfig(root string) SourceConfig {
 	cfg.DeterministicDirs = []string{
 		"internal/chunkstore",
 		"internal/experiments",
+		"internal/lab",
 		"internal/migration",
 		"internal/netsim",
 		"internal/obs",

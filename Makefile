@@ -15,12 +15,18 @@
 #   make results     regenerate every figure and write BENCH_results.json
 #   make lab         run the committed smoke spec through fluxlab and diff
 #                    the fresh report against the committed trajectory
+#   make fleet       fleet engine gate: package benchmarks (events/sec,
+#                    allocs), the smoke report diffed byte-for-byte against
+#                    BENCH_fleet.json, and the 10k-device scale spec at two
+#                    profiling widths
+#   make profile     CPU+heap profiles of the fleet scale run and the full
+#                    fluxbench evaluation (writes *.pprof)
 #   make trace-demo  run one telemetry-enabled migration and write a
 #                    sample Chrome trace (trace-demo.json) + stage report
 
 GO ?= go
 
-.PHONY: all verify vet lint build test race bench bench-pipeline bench-faults bench-commuter results lab trace-demo clean
+.PHONY: all verify vet lint build test race bench bench-pipeline bench-faults bench-commuter results lab fleet profile trace-demo clean
 
 all: verify
 
@@ -50,7 +56,7 @@ test:
 # memoized sync trees, and the mutex-guarded chunk store are only correct
 # if they are race-clean.
 race:
-	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/ ./internal/faults/ ./internal/chunkstore/ ./internal/lab/
+	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/ ./internal/faults/ ./internal/chunkstore/ ./internal/lab/ ./internal/fleet/
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/record/
@@ -92,6 +98,24 @@ lab:
 	$(GO) run ./cmd/fluxlab run -q -record /tmp/flux-lab-smoke.json lab/specs/smoke.yaml > /dev/null
 	$(GO) run ./cmd/fluxlab diff BENCH_trajectory.json /tmp/flux-lab-smoke.json
 
+# The fleet discrete-event engine gate: hot-path benchmarks (≥1M
+# simulated events/sec, 0 allocs/op steady state), the smoke workload
+# diffed byte-for-byte against the committed baseline, and the
+# 10k-device / 50k-migration scale spec at two profiling widths (the
+# reports must be identical — determinism is structural).
+fleet:
+	$(GO) test -bench='BenchmarkFleet' -benchmem -run TestRunSteadyStateAllocs ./internal/fleet/
+	$(GO) run ./cmd/fluxfleet -spec fleet/specs/smoke.yaml -v -check BENCH_fleet.json > /dev/null
+	$(GO) run ./cmd/fluxfleet -spec fleet/specs/scale-10k.yaml -v -workers 1 > /tmp/flux-fleet-w1.json
+	$(GO) run ./cmd/fluxfleet -spec fleet/specs/scale-10k.yaml -v -workers 16 > /tmp/flux-fleet-w16.json
+	cmp /tmp/flux-fleet-w1.json /tmp/flux-fleet-w16.json
+
+# Profiles of the two heaviest drivers: the fleet scale run and the
+# full evaluation. Inspect with `go tool pprof fleet-cpu.pprof`.
+profile:
+	$(GO) run ./cmd/fluxfleet -spec fleet/specs/scale-10k.yaml -cpuprofile fleet-cpu.pprof -memprofile fleet-mem.pprof > /dev/null
+	$(GO) run ./cmd/fluxbench -all -json "" -cpuprofile bench-cpu.pprof -memprofile bench-mem.pprof > /dev/null
+
 # One migration with full telemetry: flamegraph-style stage breakdown on
 # stdout, Chrome trace-event JSON (chrome://tracing / ui.perfetto.dev)
 # in trace-demo.json.
@@ -99,4 +123,4 @@ trace-demo:
 	$(GO) run ./cmd/fluxstat -app com.king.candycrushsaga -trace trace-demo.json
 
 clean:
-	rm -f BENCH_results.json BENCH_commuter.json trace-demo.json
+	rm -f BENCH_results.json BENCH_commuter.json trace-demo.json *.pprof

@@ -43,6 +43,7 @@ import (
 	"flux/internal/apps"
 	"flux/internal/experiments"
 	"flux/internal/obs"
+	"flux/internal/profiling"
 )
 
 func main() {
@@ -68,6 +69,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "migration-matrix worker pool size (0 = one per CPU)")
 		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty = off)")
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON file of all migration span trees")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile here")
+		memProfile = flag.String("memprofile", "", "write a heap profile here")
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
@@ -85,7 +88,14 @@ func main() {
 	commuterSpec.DirtyRate = *dirty
 	commuterSpec.CacheBudget = *budget
 	commuterSpec.Pipelined = *pipelinedC
-	if err := run(*table, *fig, *pairing, *failures, *summary, *ablations, *pipeline, *all, *benchIters, *playN, *workers, *jsonPath, *faultsRun, *faultRate, *faultSeed, *commuter, commuterSpec); err != nil {
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluxbench:", err)
+		os.Exit(1)
+	}
+	err = run(*table, *fig, *pairing, *failures, *summary, *ablations, *pipeline, *all, *benchIters, *playN, *workers, *jsonPath, *faultsRun, *faultRate, *faultSeed, *commuter, commuterSpec)
+	prof.Stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fluxbench:", err)
 		os.Exit(1)
 	}

@@ -29,6 +29,7 @@ import (
 	"os"
 
 	"flux/internal/lab"
+	"flux/internal/profiling"
 )
 
 func main() {
@@ -46,7 +47,7 @@ func (e errFailed) Error() string { return e.msg }
 
 func usage(w *os.File) {
 	fmt.Fprintln(w, `usage:
-  fluxlab run [-workers N] [-record FILE] [-out FILE] [-q] SPEC
+  fluxlab run [-workers N] [-record FILE] [-out FILE] [-q] [-cpuprofile FILE] [-memprofile FILE] SPEC
   fluxlab diff [-tolerance PCT] OLD NEW
   fluxlab signals`)
 }
@@ -78,6 +79,8 @@ func runCmd(args []string) error {
 	record := fs.String("record", "", "append a trajectory record to this file")
 	out := fs.String("out", "", "write the raw report JSON here")
 	quiet := fs.Bool("q", false, "suppress progress lines on stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile here")
+	memProfile := fs.String("memprofile", "", "write a heap profile here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +92,11 @@ func runCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer prof.Stop()
 	runner := &lab.Runner{Spec: spec, Workers: *workers}
 	if !*quiet {
 		runner.Progress = os.Stderr

@@ -38,6 +38,7 @@ import (
 	"flux/internal/device"
 	"flux/internal/experiments"
 	"flux/internal/faults"
+	"flux/internal/fleet"
 	"flux/internal/migration"
 	"flux/internal/pairing"
 	"flux/internal/playstore"
@@ -255,4 +256,29 @@ type EvaluationResults = experiments.Results
 // a host-sized pool.
 func RunEvaluationResults(w io.Writer, benchIters, playN, workers int) (*EvaluationResults, error) {
 	return experiments.RenderAllResults(w, benchIters, playN, workers)
+}
+
+// FleetSpec is the declarative workload of one fleet-scale simulation:
+// users × devices behind shared APs, SLO classes with Poisson/Gamma
+// arrival mixes, placement and per-AP admission policies.
+type FleetSpec = fleet.Spec
+
+// FleetReport is the deterministic product of one fleet run: per-class
+// p50/p99 user-perceived latency and admission wait, SLO attainment,
+// and the Jain fairness index. Same spec + seed ⇒ byte-identical
+// report at any worker width.
+type FleetReport = fleet.Report
+
+// FleetResult pairs the report with per-migration records.
+type FleetResult = fleet.Result
+
+// LoadFleetSpec reads a fleet spec (YAML subset or JSON) from disk.
+func LoadFleetSpec(path string) (FleetSpec, error) { return fleet.LoadSpec(path) }
+
+// RunFleet drives the discrete-event fleet engine over a spec: every
+// migration replays a stage graph measured by the real Migrate path,
+// scheduled on shared device-CPU and AP-band resources under the
+// spec's placement and admission policies.
+func RunFleet(spec FleetSpec, workers int) (*FleetResult, error) {
+	return fleet.Run(spec, fleet.Options{Workers: workers})
 }

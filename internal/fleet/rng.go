@@ -1,0 +1,88 @@
+package fleet
+
+import "math"
+
+// rng is a splitmix64 PRNG. The fleet engine cannot use math/rand:
+// workload generation must be a pure function of the spec seed — byte-
+// identical across Go versions, worker widths, and process runs — and
+// splitmix64's closed-form state transition guarantees that. All
+// randomness is consumed at workload-generation time; the event loop
+// itself is a deterministic replay.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng {
+	return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x1F123BB5159A55E5}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform sample in [0,1) with 53 bits of precision.
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform sample in [0,n). Modulo bias is irrelevant
+// here (n is tiny against 2^64) and the branch-free form keeps
+// generation deterministic and cheap.
+func (r *rng) intn(n int32) int32 {
+	return int32(r.next() % uint64(n))
+}
+
+// exp returns an Exp(1) sample by inversion.
+func (r *rng) exp() float64 {
+	for {
+		if u := r.float64(); u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// norm returns a standard normal sample via Marsaglia's polar method.
+// The rejection loop consumes a deterministic number of draws for a
+// given state, which is all determinism needs.
+func (r *rng) norm() float64 {
+	for {
+		u := 2*r.float64() - 1
+		v := 2*r.float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// gamma returns a Gamma(k, 1) sample via Marsaglia-Tsang (2000),
+// boosted for k < 1.
+func (r *rng) gamma(k float64) float64 {
+	if k < 1 {
+		// Gamma(k) = Gamma(k+1) * U^(1/k).
+		for {
+			if u := r.float64(); u > 0 {
+				return r.gamma(k+1) * math.Pow(u, 1/k)
+			}
+		}
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.float64()
+		if u == 0 {
+			continue
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleYAML = `# fleet smoke spec
+name: smoke
+seed: 42
+users: 12
+devices_per_user: 3
+users_per_ap: 4
+migrations: 200
+placement: bandwidth-aware
+admission_rate_per_min: 240
+admission_burst: 4
+max_concurrent_per_ap: 8
+classes: [interactive, commuter]
+class_interactive:
+  share: 0.6
+  arrival: poisson
+  rate_per_min: 180
+  slo_ms: 12000
+  hops: 1
+  apps: [com.king.candycrushsaga, com.twitter.android]
+class_commuter:
+  share: 0.4
+  arrival: gamma
+  gamma_shape: 1.5
+  rate_per_min: 120
+  slo_ms: 30000
+  hops: 2
+  apps: [com.netflix.mediaclient, com.whatsapp]
+`
+
+func TestParseSpecYAML(t *testing.T) {
+	s, err := ParseSpec([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "smoke" || s.Seed != 42 || s.Users != 12 || s.Migrations != 200 {
+		t.Fatalf("header fields wrong: %+v", s)
+	}
+	if s.Placement != PlacementBandwidthAware || s.AdmissionBurst != 4 || s.MaxConcurrentPerAP != 8 {
+		t.Fatalf("policy fields wrong: %+v", s)
+	}
+	if len(s.Classes) != 2 {
+		t.Fatalf("want 2 classes, got %d", len(s.Classes))
+	}
+	// Classes decode in classes-list order, not block order.
+	if s.Classes[0].Name != "interactive" || s.Classes[1].Name != "commuter" {
+		t.Fatalf("class order wrong: %s, %s", s.Classes[0].Name, s.Classes[1].Name)
+	}
+	c := s.Classes[1]
+	if c.Arrival != ArrivalGamma || c.GammaShape != 1.5 || c.Hops != 2 || c.SLOMillis != 30000 {
+		t.Fatalf("commuter class wrong: %+v", c)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, yaml, want string
+	}{
+		{"unknown key", "name: x\nbogus: 1\n", `"bogus" is not part of the spec schema`},
+		{"missing class block", "name: x\nclasses: [a]\n", "block class_a is missing"},
+		{"unlisted class block", "name: x\nclass_b:\n  share: 1\n", "no matching entry in classes"},
+		{"bad placement", "name: x\nplacement: random\n", "unknown placement"},
+		{"bad arrival", "name: x\nclasses: [a]\nclass_a:\n  arrival: weibull\n", "unknown arrival"},
+		{"unmigratable app", "name: x\nclasses: [a]\nclass_a:\n  apps: [com.kiloo.subwaysurf]\n", "not migratable"},
+		{"unknown app", "name: x\nclasses: [a]\nclass_a:\n  apps: [com.example.nope]\n", "unknown app"},
+		{"share sum", "name: x\nclasses: [a, b]\nclass_a:\n  share: 0.5\nclass_b:\n  share: 0.9\n", "shares sum"},
+		{"one device", "name: x\ndevices_per_user: 1\n", "at least 2"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec([]byte(tc.yaml))
+		if err == nil {
+			t.Errorf("%s: parse accepted a bad spec", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpecHashStability(t *testing.T) {
+	a, err := ParseSpec([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("same spec hashes differently")
+	}
+	c := a
+	c.Seed++
+	if a.Hash() == c.Hash() {
+		t.Fatal("seed change did not change the hash")
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	spec := ScaledSpec("wl", 30, 500, 123)
+	a := genWorkload(&spec)
+	b := genWorkload(&spec)
+	if len(a.arrivals) != 500 || len(b.arrivals) != 500 {
+		t.Fatalf("arrival counts: %d, %d, want 500", len(a.arrivals), len(b.arrivals))
+	}
+	for i := range a.arrivals {
+		if a.arrivals[i] != b.arrivals[i] {
+			t.Fatalf("arrival %d differs between identical generations", i)
+		}
+	}
+	for i := 1; i < len(a.arrivals); i++ {
+		if a.arrivals[i].at < a.arrivals[i-1].at {
+			t.Fatalf("arrivals not time-sorted at %d", i)
+		}
+	}
+	// Class counts respect shares exactly (remainder to the last class).
+	if a.counts[0] != 300 || a.counts[1] != 200 {
+		t.Fatalf("class counts %v, want [300 200]", a.counts)
+	}
+}

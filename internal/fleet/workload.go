@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"slices"
+)
+
+// arrival is one pre-generated migration request: who asks to move
+// which app, and when. The workload generator materializes the entire
+// arrival stream up front so the event loop consumes no randomness —
+// determinism at any worker width falls out of that split.
+type arrival struct {
+	at    int64 // virtual ns from simulation start
+	class int32
+	user  int32
+	app   int32 // index into workload.apps
+}
+
+// workload is the generated input of one fleet run.
+type workload struct {
+	// apps is the union of every class's app mix, sorted; arrivals and
+	// holder state index into it.
+	apps []string
+	// classApps[c] are class c's app indices within apps.
+	classApps [][]int32
+	// counts[c] is class c's arrival count (shares applied to
+	// Spec.Migrations, remainder to the last class).
+	counts []int
+	// arrivals is the merged stream, sorted by time (ties broken by
+	// class then generation order — fully deterministic).
+	arrivals []arrival
+}
+
+// genWorkload expands a validated spec into its arrival stream.
+func genWorkload(spec *Spec) *workload {
+	w := &workload{}
+
+	// Global app index.
+	for _, c := range spec.Classes {
+		for _, pkg := range c.Apps {
+			if !slices.Contains(w.apps, pkg) {
+				w.apps = append(w.apps, pkg)
+			}
+		}
+	}
+	slices.Sort(w.apps)
+	w.classApps = make([][]int32, len(spec.Classes))
+	for ci, c := range spec.Classes {
+		idx := make([]int32, 0, len(c.Apps))
+		for _, pkg := range c.Apps {
+			idx = append(idx, int32(slices.Index(w.apps, pkg)))
+		}
+		slices.Sort(idx)
+		w.classApps[ci] = idx
+	}
+
+	// Class counts: shares over Spec.Migrations, remainder to the last
+	// class so the total is exact.
+	w.counts = make([]int, len(spec.Classes))
+	assigned := 0
+	for ci, c := range spec.Classes {
+		n := int(float64(spec.Migrations) * c.Share)
+		if ci == len(spec.Classes)-1 {
+			n = spec.Migrations - assigned
+		}
+		if n < 0 {
+			n = 0
+		}
+		w.counts[ci] = n
+		assigned += n
+	}
+
+	// Per-class arrival streams. Each class gets an independent PRNG
+	// stream derived from (seed, class index) so adding a class never
+	// perturbs the others' draws.
+	w.arrivals = make([]arrival, 0, spec.Migrations)
+	for ci := range spec.Classes {
+		c := &spec.Classes[ci]
+		r := newRNG(spec.Seed ^ int64(ci+1)*0x5851F42D4C957F2D)
+		meanNS := 60e9 / c.RatePerMin // aggregate interarrival mean
+		var t int64
+		for j := 0; j < w.counts[ci]; j++ {
+			var dt float64
+			switch c.Arrival {
+			case ArrivalGamma:
+				// Gamma(k) scaled to the same mean as the Poisson
+				// stream: scale = mean/k.
+				dt = r.gamma(c.GammaShape) * (meanNS / c.GammaShape)
+			default: // poisson
+				dt = r.exp() * meanNS
+			}
+			t += int64(dt)
+			w.arrivals = append(w.arrivals, arrival{
+				at:    t,
+				class: int32(ci),
+				user:  r.intn(int32(spec.Users)),
+				app:   w.classApps[ci][r.intn(int32(len(w.classApps[ci])))],
+			})
+		}
+	}
+
+	// Merge: time order, ties broken by (class, original order) so the
+	// stream is a total order independent of sort internals.
+	slices.SortStableFunc(w.arrivals, func(a, b arrival) int {
+		switch {
+		case a.at != b.at:
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		case a.class != b.class:
+			return int(a.class) - int(b.class)
+		}
+		return 0
+	})
+	return w
+}

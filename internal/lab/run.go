@@ -8,6 +8,7 @@ import (
 
 	"flux/internal/experiments"
 	"flux/internal/faults"
+	"flux/internal/fleet"
 	"flux/internal/migration"
 	"flux/internal/obs"
 )
@@ -228,6 +229,22 @@ func (r *Runner) runSweep(spec Spec, workers int, data *runData) ([]CellStats, e
 				}
 				reports, rolledBack := faultReportsOf(fc)
 				cells = append(cells, statsFromReports(params, reports, rolledBack))
+			}
+		case ScenarioFleet:
+			for _, devices := range spec.Sweep.FleetDevices {
+				seed := spec.Seed + int64(rep-1)
+				params := map[string]string{
+					"scenario": ScenarioFleet,
+					"devices":  strconv.Itoa(devices),
+					"rep":      strconv.Itoa(rep),
+				}
+				r.progressf("lab: sweep cell devices=%d rep=%d\n", devices, rep)
+				fspec := fleet.ScaledSpec(spec.Name, devices, spec.Sweep.FleetMigrations, seed)
+				res, err := fleet.Run(fspec, fleet.Options{Workers: workers})
+				if err != nil {
+					return nil, fmt.Errorf("lab: sweep fleet cell: %w", err)
+				}
+				cells = append(cells, statsFromFleet(params, res))
 			}
 		case ScenarioCommuter:
 			for _, dirty := range spec.Sweep.DirtyFracs {

@@ -40,6 +40,7 @@ const (
 	ScenarioMatrix   = "matrix"   // the clean 64-migration evaluation matrix
 	ScenarioFaults   = "faults"   // the matrix under injected wire faults
 	ScenarioCommuter = "commuter" // K round trips with delta-migration caches
+	ScenarioFleet    = "fleet"    // the discrete-event fleet simulator (internal/fleet)
 )
 
 // Sweep declares the axes a spec fans over. Only the axes meaningful for
@@ -62,6 +63,13 @@ type Sweep struct {
 	CacheBudgets []int64 `json:"cache_budgets,omitempty"`
 	// RoundTrips is K for the commuter scenario (not an axis: one value).
 	RoundTrips int `json:"round_trips,omitempty"`
+	// FleetDevices sweeps the fleet size — total device count — of the
+	// fleet scenario. Each cell scales the default fleet workload to
+	// that many devices.
+	FleetDevices []int `json:"fleet_devices,omitempty"`
+	// FleetMigrations is the migration count per fleet cell (not an
+	// axis: one value; 0 scales with the device count).
+	FleetMigrations int `json:"fleet_migrations,omitempty"`
 }
 
 // Criteria are the success thresholds the signal battery enforces.
@@ -173,6 +181,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Sweep.CacheBudgets) == 0 && s.Scenario == ScenarioCommuter {
 		s.Sweep.CacheBudgets = []int64{0}
 	}
+	if len(s.Sweep.FleetDevices) == 0 && s.Scenario == ScenarioFleet {
+		s.Sweep.FleetDevices = []int{48}
+	}
 	return s
 }
 
@@ -222,10 +233,31 @@ func (s Spec) Validate() error {
 				return fmt.Errorf("lab: spec %s: cache budget %d is negative", s.Name, b)
 			}
 		}
+	case ScenarioFleet:
+		if len(s.Sweep.FaultRates) > 0 {
+			return fmt.Errorf("lab: spec %s: sweep.fault_rates applies to the faults scenario only", s.Name)
+		}
+		if len(s.Sweep.DirtyFracs) > 0 || len(s.Sweep.CacheBudgets) > 0 {
+			return fmt.Errorf("lab: spec %s: sweep.dirty_fracs/cache_budgets apply to the commuter scenario only", s.Name)
+		}
+		if len(s.Sweep.Pipelined) > 1 || (len(s.Sweep.Pipelined) == 1 && s.Sweep.Pipelined[0]) {
+			return fmt.Errorf("lab: spec %s: sweep.pipelined is not an axis of the fleet scenario", s.Name)
+		}
+		for _, d := range s.Sweep.FleetDevices {
+			if d < 2 {
+				return fmt.Errorf("lab: spec %s: fleet_devices %d needs at least one device pair", s.Name, d)
+			}
+		}
+		if s.Sweep.FleetMigrations < 0 {
+			return fmt.Errorf("lab: spec %s: fleet_migrations %d is negative", s.Name, s.Sweep.FleetMigrations)
+		}
 	case "":
-		return fmt.Errorf("lab: spec %s: scenario is required (matrix, faults, commuter)", s.Name)
+		return fmt.Errorf("lab: spec %s: scenario is required (matrix, faults, commuter, fleet)", s.Name)
 	default:
-		return fmt.Errorf("lab: spec %s: unknown scenario %q (matrix, faults, commuter)", s.Name, s.Scenario)
+		return fmt.Errorf("lab: spec %s: unknown scenario %q (matrix, faults, commuter, fleet)", s.Name, s.Scenario)
+	}
+	if s.Scenario != ScenarioFleet && (len(s.Sweep.FleetDevices) > 0 || s.Sweep.FleetMigrations != 0) {
+		return fmt.Errorf("lab: spec %s: sweep.fleet_devices/fleet_migrations apply to the fleet scenario only", s.Name)
 	}
 	for _, w := range s.Sweep.Workers {
 		if w < 0 {

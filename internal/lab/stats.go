@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"flux/internal/experiments"
+	"flux/internal/fleet"
 	"flux/internal/migration"
 )
 
@@ -159,6 +160,34 @@ func faultReportsOf(cells []experiments.FaultCell) ([]*migration.Report, int) {
 		reports = append(reports, c.Report)
 	}
 	return reports, rolledBack
+}
+
+// statsFromFleet aggregates one fleet run into a CellStats. Fleet
+// migrations replay measured stage graphs under contention, so the
+// whole-migration and user-perceived aggregates are populated from the
+// per-migration records; per-stage percentiles stay zero (stage time is
+// a property of the profiled class, not the fleet cell).
+func statsFromFleet(params map[string]string, res *fleet.Result) CellStats {
+	id, tokens := cellID(params)
+	cs := CellStats{
+		ID:         id,
+		Params:     tokens,
+		Migrations: res.Report.Migrations,
+		WireBytes:  res.Report.WireBytes,
+	}
+	var totals, users []float64
+	for _, m := range res.Migs {
+		if m.Superseded {
+			continue
+		}
+		totals = append(totals, float64(m.DoneNS-m.AdmitNS)/1e9)
+		users = append(users, float64(m.UserNS)/1e9)
+	}
+	cs.TotalP50S = percentile(totals, 50)
+	cs.TotalP99S = percentile(totals, 99)
+	cs.UserP50S = percentile(users, 50)
+	cs.UserP99S = percentile(users, 99)
+	return cs
 }
 
 // commuterReportsOf flattens commuter runs into hop reports.

@@ -1,124 +1,52 @@
 package lab
 
-// A deliberately small YAML-subset parser for experiment specs. The
-// container bakes in no YAML dependency, and a spec needs exactly three
-// shapes: top-level scalars, one level of nested maps (sweep, criteria),
-// and flow-style scalar lists ([1, 2, 3]). Anything outside that subset
-// is a parse error with a line number — specs are configuration, and
-// configuration that half-parses is worse than configuration that
-// refuses to.
+// Spec parsing rides on internal/yamlite, the shared YAML-subset parser
+// (extracted from this package once fluxfleet grew a second declarative
+// spec surface). The wrappers below pin the error vocabulary this
+// package has always used — "lab: spec line %d: ..." for parse errors,
+// "lab: spec key %s: ..." for decode errors — so spec diagnostics are
+// byte-identical across the extraction.
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
+
+	"flux/internal/yamlite"
 )
 
-// yamlValue is either a string scalar, a []string flow list, or a
-// yamlMap for nested blocks.
-type yamlValue struct {
-	scalar string
-	list   []string
-	child  yamlMap
-	isList bool
-	isMap  bool
-}
+type yamlValue = yamlite.Value
 
-// yamlMap preserves nothing about order; spec decoding addresses keys
-// explicitly.
-type yamlMap map[string]yamlValue
+type yamlMap = yamlite.Map
 
-// parseYAML parses the spec subset: `key: value`, `key: [a, b]`, and
-// `key:` followed by a consistently deeper-indented block of the same
-// shapes (one nesting level).
 func parseYAML(data []byte) (yamlMap, error) {
-	root := yamlMap{}
-	var (
-		blockKey    string  // open nested block, "" at top level
-		blockIndent = -1    // indentation of the open block's entries
-		block       yamlMap // entries of the open block
-	)
-	closeBlock := func() {
-		if blockKey != "" {
-			root[blockKey] = yamlValue{child: block, isMap: true}
-			blockKey, blockIndent, block = "", -1, nil
-		}
-	}
-	for ln, raw := range strings.Split(string(data), "\n") {
-		line := raw
-		if i := strings.Index(line, "#"); i >= 0 && !strings.Contains(line[:i], "\"") {
-			line = line[:i]
-		}
-		if strings.TrimSpace(line) == "" {
-			continue
-		}
-		indent := len(line) - len(strings.TrimLeft(line, " "))
-		if strings.Contains(line, "\t") {
-			return nil, fmt.Errorf("lab: spec line %d: tabs are not allowed in spec indentation", ln+1)
-		}
-		trimmed := strings.TrimSpace(line)
-		key, rest, ok := strings.Cut(trimmed, ":")
-		if !ok {
-			return nil, fmt.Errorf("lab: spec line %d: expected `key: value`, got %q", ln+1, trimmed)
-		}
-		key = strings.TrimSpace(key)
-		rest = strings.TrimSpace(rest)
-		if key == "" {
-			return nil, fmt.Errorf("lab: spec line %d: empty key", ln+1)
-		}
-		switch {
-		case indent == 0:
-			closeBlock()
-			if rest == "" {
-				// Opens a nested block; entries follow deeper-indented.
-				blockKey, block = key, yamlMap{}
-				continue
-			}
-			v, err := parseYAMLScalar(rest, ln+1)
-			if err != nil {
-				return nil, err
-			}
-			root[key] = v
-		case blockKey != "":
-			if blockIndent == -1 {
-				blockIndent = indent
-			}
-			if indent != blockIndent {
-				return nil, fmt.Errorf("lab: spec line %d: inconsistent indentation %d (block %q uses %d)", ln+1, indent, blockKey, blockIndent)
-			}
-			if rest == "" {
-				return nil, fmt.Errorf("lab: spec line %d: nested blocks deeper than one level are not supported", ln+1)
-			}
-			v, err := parseYAMLScalar(rest, ln+1)
-			if err != nil {
-				return nil, err
-			}
-			block[key] = v
-		default:
-			return nil, fmt.Errorf("lab: spec line %d: indented entry outside any block", ln+1)
-		}
-	}
-	closeBlock()
-	return root, nil
+	return yamlite.Parse(data, "lab: spec")
 }
 
-// parseYAMLScalar parses a scalar or a flow list into a yamlValue.
-func parseYAMLScalar(s string, line int) (yamlValue, error) {
-	if strings.HasPrefix(s, "[") {
-		if !strings.HasSuffix(s, "]") {
-			return yamlValue{}, fmt.Errorf("lab: spec line %d: unterminated list %q", line, s)
-		}
-		inner := strings.TrimSpace(s[1 : len(s)-1])
-		v := yamlValue{isList: true}
-		if inner == "" {
-			return v, nil
-		}
-		for _, item := range strings.Split(inner, ",") {
-			v.list = append(v.list, strings.Trim(strings.TrimSpace(item), `"'`))
-		}
-		return v, nil
-	}
-	return yamlValue{scalar: strings.Trim(s, `"'`)}, nil
+func sortedKeys(m yamlMap) []string {
+	return yamlite.SortedKeys(m)
+}
+
+func yamlString(v yamlValue, key string) (string, error) {
+	return yamlite.String(v, "lab: spec key "+key)
+}
+
+func yamlInt(v yamlValue, key string) (int, error) {
+	return yamlite.Int(v, "lab: spec key "+key)
+}
+
+func yamlFloat(v yamlValue, key string) (float64, error) {
+	return yamlite.Float(v, "lab: spec key "+key)
+}
+
+func yamlIntList(v yamlValue, key string) ([]int, error) {
+	return yamlite.IntList(v, "lab: spec key "+key)
+}
+
+func yamlFloatList(v yamlValue, key string) ([]float64, error) {
+	return yamlite.FloatList(v, "lab: spec key "+key)
+}
+
+func yamlBoolList(v yamlValue, key string) ([]bool, error) {
+	return yamlite.BoolList(v, "lab: spec key "+key)
 }
 
 // decodeSpec maps a parsed document onto Spec, rejecting unknown keys so
@@ -143,15 +71,15 @@ func decodeSpec(doc yamlMap, s *Spec) error {
 		case "counterfactual_k":
 			s.CounterfactualK, err = yamlInt(v, key)
 		case "sweep":
-			if !v.isMap {
+			if !v.IsMap {
 				return fmt.Errorf("lab: spec key sweep: expected a nested block")
 			}
-			err = decodeSweep(v.child, &s.Sweep)
+			err = decodeSweep(v.Child, &s.Sweep)
 		case "criteria":
-			if !v.isMap {
+			if !v.IsMap {
 				return fmt.Errorf("lab: spec key criteria: expected a nested block")
 			}
-			err = decodeCriteria(v.child, &s.Criteria)
+			err = decodeCriteria(v.Child, &s.Criteria)
 		default:
 			return fmt.Errorf("lab: spec key %q is not part of the spec schema", key)
 		}
@@ -183,6 +111,10 @@ func decodeSweep(doc yamlMap, sw *Sweep) error {
 			}
 		case "round_trips":
 			sw.RoundTrips, err = yamlInt(v, "sweep."+key)
+		case "fleet_devices":
+			sw.FleetDevices, err = yamlIntList(v, "sweep."+key)
+		case "fleet_migrations":
+			sw.FleetMigrations, err = yamlInt(v, "sweep."+key)
 		default:
 			return fmt.Errorf("lab: spec key sweep.%s is not a sweep axis", key)
 		}
@@ -218,107 +150,4 @@ func decodeCriteria(doc yamlMap, c *Criteria) error {
 		}
 	}
 	return nil
-}
-
-func sortedKeys(m yamlMap) []string {
-	keys := make([]string, 0, len(m))
-	//fluxvet:allow maprange — keys are sorted immediately below
-	for k := range m {
-		keys = append(keys, k)
-	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	return keys
-}
-
-func yamlString(v yamlValue, key string) (string, error) {
-	if v.isList || v.isMap {
-		return "", fmt.Errorf("lab: spec key %s: expected a scalar", key)
-	}
-	return v.scalar, nil
-}
-
-func yamlInt(v yamlValue, key string) (int, error) {
-	s, err := yamlString(v, key)
-	if err != nil {
-		return 0, err
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil {
-		return 0, fmt.Errorf("lab: spec key %s: %q is not an integer", key, s)
-	}
-	return n, nil
-}
-
-func yamlFloat(v yamlValue, key string) (float64, error) {
-	s, err := yamlString(v, key)
-	if err != nil {
-		return 0, err
-	}
-	f, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0, fmt.Errorf("lab: spec key %s: %q is not a number", key, s)
-	}
-	return f, nil
-}
-
-func yamlList(v yamlValue, key string) ([]string, error) {
-	if !v.isList {
-		return nil, fmt.Errorf("lab: spec key %s: expected a flow list like [1, 2]", key)
-	}
-	return v.list, nil
-}
-
-func yamlIntList(v yamlValue, key string) ([]int, error) {
-	items, err := yamlList(v, key)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]int, 0, len(items))
-	for _, s := range items {
-		n, err := strconv.Atoi(s)
-		if err != nil {
-			return nil, fmt.Errorf("lab: spec key %s: %q is not an integer", key, s)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-func yamlFloatList(v yamlValue, key string) ([]float64, error) {
-	items, err := yamlList(v, key)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, 0, len(items))
-	for _, s := range items {
-		f, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return nil, fmt.Errorf("lab: spec key %s: %q is not a number", key, s)
-		}
-		out = append(out, f)
-	}
-	return out, nil
-}
-
-func yamlBoolList(v yamlValue, key string) ([]bool, error) {
-	items, err := yamlList(v, key)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]bool, 0, len(items))
-	for _, s := range items {
-		switch s {
-		case "true":
-			out = append(out, true)
-		case "false":
-			out = append(out, false)
-		default:
-			return nil, fmt.Errorf("lab: spec key %s: %q is not a bool", key, s)
-		}
-	}
-	return out, nil
 }

@@ -132,6 +132,16 @@ type pipelinePlan struct {
 	// (metadata + record log + the leading workingSet fraction of the
 	// memory payload); adaptive replay may begin once it lands.
 	wsIndex int
+
+	// shipped caches shippedWires: the transfer stage consults the
+	// shipped set up to three times per migration (stream scheduling,
+	// link accounting, fault recovery), and recomputing it allocated a
+	// slice each time × thousands of migrations under the fleet engine.
+	// Invalidated (nil) whenever Lanes changes.
+	shipped []int64
+	// wireDur is the retained chunk-schedule buffer scheduleStream
+	// fills via AppendChunkTimes.
+	wireDur []time.Duration
 }
 
 // planPipeline computes the home-side checkpoint→compress schedule for the
@@ -142,7 +152,8 @@ type pipelinePlan struct {
 // fraction. Checkpointing is unaffected — the full image is always
 // captured (rollback safety).
 func planPipeline(chunks []cria.Chunk, homeCPU float64, skipCompression bool, dp *deltaPlan) *pipelinePlan {
-	p := &pipelinePlan{Lanes: make([]chunkLane, 0, len(chunks))}
+	// +1: scheduleStream may prepend the synthetic delta lane in place.
+	p := &pipelinePlan{Lanes: make([]chunkLane, 0, len(chunks)+1)}
 	var ckptFree, compFree time.Duration
 	for i, c := range chunks {
 		lane := chunkLane{Chunk: c, Wire: effectiveWire(c, skipCompression)}
@@ -171,16 +182,21 @@ func planPipeline(chunks []cria.Chunk, homeCPU float64, skipCompression bool, dp
 }
 
 // shippedWires returns the wire sizes of the lanes that actually hit the
-// link, in stream order — cache-hit lanes take no stream slot.
+// link, in stream order — cache-hit lanes take no stream slot. The
+// result is memoized (callers must not mutate it); Lanes edits must
+// reset p.shipped.
 func (p *pipelinePlan) shippedWires() []int64 {
-	out := make([]int64, 0, len(p.Lanes))
-	for i := range p.Lanes {
-		if p.Lanes[i].Cached {
-			continue
+	if p.shipped == nil {
+		out := make([]int64, 0, len(p.Lanes))
+		for i := range p.Lanes {
+			if p.Lanes[i].Cached {
+				continue
+			}
+			out = append(out, p.Lanes[i].Wire)
 		}
-		out = append(out, p.Lanes[i].Wire)
+		p.shipped = out
 	}
-	return out
+	return p.shipped
 }
 
 // cpuWork models CPU-bound work over n bytes at rate bytes/sec on a 1.0
@@ -210,13 +226,18 @@ func maxDur(a, b time.Duration) time.Duration {
 // confirms them — but keep their place in the serial restore order.
 func (p *pipelinePlan) scheduleStream(deltaWire int64, link netsim.Link, guestCPU, workingSet float64, negDur time.Duration) {
 	if deltaWire > 0 {
-		delta := chunkLane{
+		// In-place prepend: planPipeline reserved the extra slot, so
+		// this shifts within the existing backing array.
+		p.Lanes = append(p.Lanes, chunkLane{})
+		copy(p.Lanes[1:], p.Lanes)
+		p.Lanes[0] = chunkLane{
 			Chunk: cria.Chunk{Index: -1, Kind: cria.ChunkDelta, Segment: -1, Raw: deltaWire},
 			Wire:  deltaWire,
 		}
-		p.Lanes = append([]chunkLane{delta}, p.Lanes...)
+		p.shipped = nil
 	}
-	wireDur := link.ChunkTimes(p.shippedWires())
+	p.wireDur = link.AppendChunkTimes(p.wireDur[:0], p.shippedWires())
+	wireDur := p.wireDur
 
 	// Working-set boundary over the memory payload.
 	var payload int64

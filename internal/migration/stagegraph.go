@@ -1,0 +1,173 @@
+// Stage-graph extraction of the five-stage Migrate path.
+//
+// Migrate (migration.go) runs the Figure 4 stages inline, advancing a
+// single device pair's clocks as it goes. The fleet simulator
+// (internal/fleet) needs the same work as *data*: a sequence of
+// schedulable nodes, each with a declared resource (home CPU, guest
+// CPU, or the wire) and a virtual duration, so thousands of migrations
+// can interleave on one shared event clock without goroutine-per-
+// migration overhead. A StageGraph is exactly that — the measured
+// Report rendered as a schedule. Durations come from Report.Timings
+// verbatim, so replaying a graph serially reproduces the migration's
+// timings and bytes bit for bit (tested).
+package migration
+
+import (
+	"time"
+
+	"flux/internal/netsim"
+)
+
+// StageResource names the serial resource a stage node occupies while
+// it runs. The fleet engine maps these onto per-device CPUs and per-AP
+// radio bands.
+type StageResource uint8
+
+const (
+	// ResourceHomeCPU is the migration source device's CPU (preparation,
+	// checkpoint, compression).
+	ResourceHomeCPU StageResource = iota
+	// ResourceGuestCPU is the destination device's CPU (restore,
+	// reintegration/replay).
+	ResourceGuestCPU
+	// ResourceWire is the wireless path between the devices through the
+	// AP (transfer, negotiation).
+	ResourceWire
+)
+
+// String names the resource for reports.
+func (r StageResource) String() string {
+	switch r {
+	case ResourceHomeCPU:
+		return "home-cpu"
+	case ResourceGuestCPU:
+		return "guest-cpu"
+	case ResourceWire:
+		return "wire"
+	}
+	return "resource(?)"
+}
+
+// StageNode is one schedulable unit of a migration: a stage (or one
+// wire chunk of the transfer stage), the resource it occupies, how long
+// it holds it, and the bytes it moves when it is a wire node.
+type StageNode struct {
+	Stage    Stage
+	Resource StageResource
+	Duration time.Duration
+	// Bytes is the wire payload of ResourceWire nodes; zero for CPU
+	// nodes.
+	Bytes int64
+}
+
+// StageGraph is a migration rendered as a serial schedule of resource
+// occupations. Nodes run strictly in order — node i+1 may start only
+// after node i completes — but each waits for its own resource, so
+// independent migrations interleave wherever they contend.
+type StageGraph struct {
+	Nodes []StageNode
+	// TransferredBytes mirrors Report.TransferredBytes.
+	TransferredBytes int64
+}
+
+// Total is the graph's serial makespan absent contention; equals
+// Report.Timings.Total() for graphs built by Graph and ChunkedGraph.
+func (g StageGraph) Total() time.Duration {
+	var sum time.Duration
+	for _, n := range g.Nodes {
+		sum += n.Duration
+	}
+	return sum
+}
+
+// UserPerceived sums the user-visible stages (transfer onward),
+// matching Timings.UserPerceived.
+func (g StageGraph) UserPerceived() time.Duration {
+	var sum time.Duration
+	for _, n := range g.Nodes {
+		if n.Stage >= StageTransfer {
+			sum += n.Duration
+		}
+	}
+	return sum
+}
+
+// Graph renders a measured migration Report as the canonical five-node
+// stage graph. Node durations are the Report's Timings entries
+// verbatim — no re-pricing — so a serial replay of the graph
+// reproduces the migration exactly.
+func Graph(rep *Report) StageGraph {
+	return StageGraph{
+		Nodes: []StageNode{
+			{Stage: StagePreparation, Resource: ResourceHomeCPU, Duration: rep.Timings[StagePreparation]},
+			{Stage: StageCheckpoint, Resource: ResourceHomeCPU, Duration: rep.Timings[StageCheckpoint]},
+			{Stage: StageTransfer, Resource: ResourceWire, Duration: rep.Timings[StageTransfer], Bytes: rep.TransferredBytes},
+			{Stage: StageRestore, Resource: ResourceGuestCPU, Duration: rep.Timings[StageRestore]},
+			{Stage: StageReintegration, Resource: ResourceGuestCPU, Duration: rep.Timings[StageReintegration]},
+		},
+		TransferredBytes: rep.TransferredBytes,
+	}
+}
+
+// ChunkedGraph renders the Report with the transfer stage split into
+// per-chunk wire nodes (the pipelined scheduler's partition at
+// chunkBytes, via chunkWires), so the fleet engine can interleave
+// other migrations' wire time between a long transfer's chunks.
+// Per-chunk durations follow the link's chunk airtime proportions but
+// are integer-scaled so they sum to the measured transfer duration
+// exactly: ChunkedGraph(rep).Total() == Graph(rep).Total() bit for
+// bit, regardless of chunking.
+func ChunkedGraph(rep *Report, link netsim.Link, chunkBytes int64) StageGraph {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultPipelineChunkBytes
+	}
+	if chunkBytes < MinPipelineChunkBytes {
+		chunkBytes = MinPipelineChunkBytes
+	}
+	wires := chunkWires(rep.TransferredBytes, chunkBytes)
+	transfer := rep.Timings[StageTransfer]
+	if len(wires) <= 1 {
+		return Graph(rep)
+	}
+	times := link.ChunkTimes(wires)
+	var sum time.Duration
+	for _, t := range times {
+		sum += t
+	}
+	nodes := make([]StageNode, 0, len(wires)+4)
+	nodes = append(nodes,
+		StageNode{Stage: StagePreparation, Resource: ResourceHomeCPU, Duration: rep.Timings[StagePreparation]},
+		StageNode{Stage: StageCheckpoint, Resource: ResourceHomeCPU, Duration: rep.Timings[StageCheckpoint]},
+	)
+	// Integer-proportional split of the measured transfer duration over
+	// the chunk airtimes; the last chunk absorbs the rounding remainder
+	// so the stage total is preserved exactly.
+	var assigned time.Duration
+	for i, t := range times {
+		var d time.Duration
+		if i == len(times)-1 {
+			d = transfer - assigned
+		} else if sum > 0 {
+			d = scaleDuration(transfer, t, sum)
+		}
+		assigned += d
+		nodes = append(nodes, StageNode{Stage: StageTransfer, Resource: ResourceWire, Duration: d, Bytes: wires[i]})
+	}
+	nodes = append(nodes,
+		StageNode{Stage: StageRestore, Resource: ResourceGuestCPU, Duration: rep.Timings[StageRestore]},
+		StageNode{Stage: StageReintegration, Resource: ResourceGuestCPU, Duration: rep.Timings[StageReintegration]},
+	)
+	return StageGraph{Nodes: nodes, TransferredBytes: rep.TransferredBytes}
+}
+
+// scaleDuration returns total*part/whole without intermediate overflow
+// (total can be seconds — ~1e9 ns — and part likewise; the naive
+// product overflows int64 above ~9.2e18).
+func scaleDuration(total, part, whole time.Duration) time.Duration {
+	if whole <= 0 {
+		return 0
+	}
+	q := int64(total) / int64(whole)
+	r := int64(total) % int64(whole)
+	return time.Duration(q*int64(part) + r*int64(part)/int64(whole))
+}

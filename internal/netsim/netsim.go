@@ -188,7 +188,14 @@ const StreamChunkOverhead = 500 * time.Microsecond
 // — chunking never changes total airtime, only adds framing (tested
 // equivalence). Negative chunk sizes count as zero.
 func (l Link) ChunkTimes(chunks []int64) []time.Duration {
-	out := make([]time.Duration, len(chunks))
+	return l.AppendChunkTimes(make([]time.Duration, 0, len(chunks)), chunks)
+}
+
+// AppendChunkTimes is ChunkTimes appending into dst — the zero-
+// allocation form for hot paths that ship one chunk schedule per
+// migration across thousands of migrations (the pipelined scheduler,
+// the fleet engine). Pass dst[:0] of a retained buffer to reuse it.
+func (l Link) AppendChunkTimes(dst []time.Duration, chunks []int64) []time.Duration {
 	bw := l.Bandwidth()
 	var cum int64
 	var prev time.Duration
@@ -208,9 +215,9 @@ func (l Link) ChunkTimes(chunks []int64) []time.Duration {
 		} else {
 			d += StreamChunkOverhead
 		}
-		out[i] = d
+		dst = append(dst, d)
 	}
-	return out
+	return dst
 }
 
 // StreamTime returns how long shipping the chunk stream takes on the
@@ -225,16 +232,22 @@ func (l Link) ChunkTimes(chunks []int64) []time.Duration {
 // StreamTime(nil) == TransferTime(0) == Latency(), with identical
 // MetricTransfers / MetricTransferBytes deltas (tested).
 func (l Link) StreamTime(chunks []int64) time.Duration {
-	d := l.Latency() // the degenerate empty stream: session setup only
+	// The per-chunk schedule telescopes exactly (ChunkTimes computes
+	// chunk airtime as cumulative payload-time deltas), so the stream
+	// total is closed-form — no per-chunk slice needed, zero
+	// allocations on this path (BenchmarkStreamTime asserts it).
+	d := l.Latency() // chunk 0 (or the degenerate empty stream's session setup)
 	var total int64
 	if len(chunks) > 0 {
-		d = 0
-		for i, t := range l.ChunkTimes(chunks) {
-			d += t
-			if c := chunks[i]; c > 0 {
+		for _, c := range chunks {
+			if c > 0 {
 				total += c
 			}
 		}
+		if bw := l.Bandwidth(); bw > 0 {
+			d += payloadTime(total, bw)
+		}
+		d += time.Duration(len(chunks)-1) * StreamChunkOverhead
 	}
 	if obs.Enabled() {
 		m := obs.M()

@@ -1,0 +1,68 @@
+// Package profiling wires -cpuprofile/-memprofile flags into the flux
+// commands. It is a thin, shared wrapper over runtime/pprof so every
+// binary (fluxbench, fluxlab, fluxfleet) exposes the same contract:
+// the CPU profile brackets the command's real work, and the heap
+// profile snapshots the moment the work finished.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session holds the open profile outputs of one command run. The zero
+// value (from empty paths) is a no-op, so commands can call Stop
+// unconditionally.
+type Session struct {
+	cpu     *os.File
+	memPath string
+}
+
+// Start begins CPU profiling into cpuPath (empty = off) and arms a
+// heap snapshot at memPath (empty = off). Callers must defer Stop.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: creating %s: %w", cpuPath, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
+		}
+		s.cpu = f
+	}
+	return s, nil
+}
+
+// Stop ends the CPU profile and writes the heap snapshot. Errors are
+// reported (profiles are a debugging aid, not a correctness gate) but
+// never mask the command's own exit status.
+func (s *Session) Stop() {
+	if s == nil {
+		return
+	}
+	if s.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpu.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling: closing CPU profile:", err)
+		}
+		s.cpu = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the snapshot shows live objects
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling: writing heap profile:", err)
+		}
+		s.memPath = ""
+	}
+}

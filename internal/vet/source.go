@@ -95,10 +95,12 @@ func DefaultSourceConfig(root string) SourceConfig {
 	cfg.DeterministicDirs = []string{
 		"internal/chunkstore",
 		"internal/experiments",
+		"internal/fleet",
 		"internal/lab",
 		"internal/migration",
 		"internal/netsim",
 		"internal/obs",
+		"internal/yamlite",
 	}
 	return cfg
 }

@@ -23,10 +23,12 @@
 #                    fluxbench evaluation (writes *.pprof)
 #   make trace-demo  run one telemetry-enabled migration and write a
 #                    sample Chrome trace (trace-demo.json) + stage report
+#   make log-verify  seglog smoke: record a log, verify its hash chain
+#                    and anchor, flip one bit, assert detection
 
 GO ?= go
 
-.PHONY: all verify vet lint build test race bench bench-pipeline bench-faults bench-commuter results lab fleet profile trace-demo clean
+.PHONY: all verify vet lint build test race bench bench-pipeline bench-faults bench-commuter results lab fleet profile trace-demo log-verify clean
 
 all: verify
 
@@ -56,7 +58,7 @@ test:
 # memoized sync trees, and the mutex-guarded chunk store are only correct
 # if they are race-clean.
 race:
-	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/ ./internal/faults/ ./internal/chunkstore/ ./internal/lab/ ./internal/fleet/
+	$(GO) test -race ./internal/record/ ./internal/experiments/ ./internal/binder/ ./internal/obs/ ./internal/migration/ ./internal/cria/ ./internal/netsim/ ./internal/rsyncx/ ./internal/faults/ ./internal/chunkstore/ ./internal/lab/ ./internal/fleet/ ./internal/seglog/
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/record/
@@ -121,6 +123,15 @@ profile:
 # in trace-demo.json.
 trace-demo:
 	$(GO) run ./cmd/fluxstat -app com.king.candycrushsaga -trace trace-demo.json
+
+# The tamper-evidence smoke (DESIGN.md §5j): record a real workload's
+# log to disk, verify the full hash chain + anchor, then flip a single
+# bit and assert -verify refuses the file. Detection, never wrong replay.
+log-verify:
+	$(GO) run ./cmd/fluxtrace -app com.whatsapp -o /tmp/flux-log-verify.flxg > /dev/null
+	$(GO) run ./cmd/fluxtrace -verify /tmp/flux-log-verify.flxg
+	$(GO) run ./cmd/fluxtrace -tamper /tmp/flux-log-verify.flxg
+	! $(GO) run ./cmd/fluxtrace -verify /tmp/flux-log-verify.flxg
 
 clean:
 	rm -f BENCH_results.json BENCH_commuter.json trace-demo.json *.pprof

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 
+	"flux/internal/atomicio"
 	"flux/internal/lab"
 	"flux/internal/profiling"
 )
@@ -162,9 +163,5 @@ func writeReportJSON(path string, rep *lab.Report) error {
 		return fmt.Errorf("marshaling report: %w", err)
 	}
 	data = append(data, '\n')
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicio.WriteFile(path, data, 0o644)
 }

@@ -36,7 +36,6 @@ import (
 
 	"flux/internal/binder"
 	"flux/internal/cria"
-	"flux/internal/record"
 	"flux/internal/replay"
 	"flux/internal/services"
 	"flux/internal/vet"
@@ -124,12 +123,10 @@ func runSpec() []vet.Finding {
 }
 
 // runLogs lints a persisted record log, optionally against a CRIA image's
-// handle table.
+// handle table. Loading goes through vet.LintLogFile, so a log failing
+// cryptographic verification surfaces as a log-integrity finding rather
+// than a load error.
 func runLogs(logsPath, imagePath string, fullRecord bool) ([]vet.Finding, error) {
-	log, err := record.LoadFile(logsPath)
-	if err != nil {
-		return nil, fmt.Errorf("loading record log: %w", err)
-	}
 	opts := vet.LogLintOptions{FullRecord: fullRecord}
 	if imagePath != "" {
 		data, err := os.ReadFile(imagePath)
@@ -145,5 +142,9 @@ func runLogs(logsPath, imagePath string, fullRecord bool) ([]vet.Finding, error)
 			opts.Handles[h.Handle] = true
 		}
 	}
-	return vet.LintLog(log, services.InterfacesByDescriptor(), opts), nil
+	fs, err := vet.LintLogFile(logsPath, services.InterfacesByDescriptor(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("loading record log: %w", err)
+	}
+	return fs, nil
 }

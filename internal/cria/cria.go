@@ -11,6 +11,7 @@
 package cria
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -82,6 +83,12 @@ type Image struct {
 
 	// RecordLog is the app's pruned Selective Record log (record.MarshalApp).
 	RecordLog []byte
+	// LogAnchor is the marshalled seglog anchor over RecordLog's entries
+	// (chain head + segment Merkle roots, DESIGN.md §5j). When present,
+	// Restore verifies RecordLog against it before anything replays, and
+	// Marshal emits the FXC4 container revision to carry it. Empty by
+	// default so anchor-free images keep FXC2/FXC3's exact wire bytes.
+	LogAnchor []byte
 	// HomeVolumeSteps parameterizes the audio replay proxy.
 	HomeVolumeSteps int32
 
@@ -107,6 +114,23 @@ func (img *Image) SetContentDigests(on bool) {
 	}
 	img.mu.Unlock()
 }
+
+// SetLogAnchor attaches (or clears) the record-log anchor, invalidating
+// any memoized serialization — the container revision depends on it.
+func (img *Image) SetLogAnchor(anchor []byte) {
+	img.mu.Lock()
+	if !bytes.Equal(img.LogAnchor, anchor) {
+		img.LogAnchor = anchor
+		img.cachedWire = nil
+	}
+	img.mu.Unlock()
+}
+
+// ErrLogTampered reports a record log that does not verify against the
+// image's anchor: some bit of the log the guest received is not what
+// the home device recorded. Migration rolls back on it — a wrong replay
+// is never attempted.
+var ErrLogTampered = errors.New("cria: record log does not match its anchor")
 
 // ErrNonSystemConnection reports an app holding Binder connections to
 // non-system services; Flux refuses to migrate such apps (paper §3.3).
@@ -145,6 +169,10 @@ type Options struct {
 	// AllowMultiProcess enables process-tree checkpointing — the paper's
 	// future-work extension, off by default to match the evaluation.
 	AllowMultiProcess bool
+	// AnchorLog embeds a seglog anchor over the record log in the image
+	// (FXC4 container), so the guest verifies the log before replay. Off
+	// by default: anchor-free images keep their exact legacy wire bytes.
+	AnchorLog bool
 	// SystemPIDs identifies system-owned processes (system_server, pid 0)
 	// whose unnamed nodes may be replay-restorable.
 	SystemPIDs map[int]bool
@@ -184,6 +212,14 @@ func Checkpoint(app *android.App, opts Options) (*Image, error) {
 		Runtime:         app.RuntimeState(),
 		HomeVolumeSteps: opts.HomeVolumeSteps,
 		RecordLog:       opts.Recorder.Log().MarshalApp(app.Package()),
+	}
+	if opts.AnchorLog {
+		anchor, err := record.AnchorWire(img.RecordLog)
+		if err != nil {
+			logSec.End()
+			return nil, fmt.Errorf("cria: anchoring record log: %w", err)
+		}
+		img.LogAnchor = anchor
 	}
 	logSec.Attr(obs.Int64("bytes", int64(len(img.RecordLog)))).End()
 
@@ -294,6 +330,18 @@ type Restored struct {
 func Restore(img *Image, opts RestoreOptions) (*Restored, error) {
 	if opts.Runtime == nil {
 		return nil, fmt.Errorf("cria: RestoreOptions.Runtime is required")
+	}
+	// Anchor verification comes first: before any guest state is stood
+	// up, prove the record log is exactly what the home device anchored.
+	// A mismatch aborts the restore outright — better no migration than
+	// a wrong replay.
+	if len(img.LogAnchor) > 0 {
+		verifySec := opts.Span.Child("cria.log_verify")
+		err := record.VerifyAnchor(img.RecordLog, img.LogAnchor)
+		verifySec.Attr(obs.Int64("anchor_bytes", int64(len(img.LogAnchor)))).End()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrLogTampered, err)
+		}
 	}
 	wrapSec := opts.Span.Child("cria.wrapper")
 	ns := kernel.NewPIDNamespace("wrapper:" + img.Pkg)

@@ -201,3 +201,78 @@ func TestUnmarshalTruncatedChecksumHeader(t *testing.T) {
 		t.Error("truncated container decoded cleanly")
 	}
 }
+
+// TestAnchoredContainerRoundTrip covers the FXC4 revision: an image
+// carrying a record-log anchor marshals under the FXC4 magic, the
+// anchor survives the round trip, and an anchor-free image still
+// produces byte-identical FXC2/FXC3 output.
+func TestAnchoredContainerRoundTrip(t *testing.T) {
+	plain := integImage()
+	plainWire, err := plain.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plainWire[:4]) != marshalMagic {
+		t.Fatalf("anchor-free image marshals as %q, want %q", plainWire[:4], marshalMagic)
+	}
+
+	for _, digests := range []bool{false, true} {
+		img := integImage()
+		img.SetContentDigests(digests)
+		img.SetLogAnchor([]byte("opaque-anchor-wire-bytes"))
+		wire, err := img.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wire[:4]) != marshalMagicV4 {
+			t.Fatalf("anchored image marshals as %q, want %q", wire[:4], marshalMagicV4)
+		}
+		back, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("digests=%v: %v", digests, err)
+		}
+		if !bytes.Equal(back.LogAnchor, img.LogAnchor) {
+			t.Errorf("digests=%v: anchor did not round-trip", digests)
+		}
+		if !bytes.Equal(back.RecordLog, img.RecordLog) {
+			t.Errorf("digests=%v: record log did not round-trip", digests)
+		}
+		if len(back.Segments) != len(img.Segments) {
+			t.Errorf("digests=%v: segments = %d, want %d", digests, len(back.Segments), len(img.Segments))
+		}
+		// Corrupting a block inside an FXC4 container is still caught by
+		// the CRC layer.
+		mut := bytes.Clone(wire)
+		mut[len(mut)-3] ^= 0x40
+		if _, err := Unmarshal(mut); err == nil {
+			t.Errorf("digests=%v: corrupted FXC4 container decoded cleanly", digests)
+		}
+	}
+}
+
+// TestSetLogAnchorInvalidatesCache: attaching an anchor after a Marshal
+// must drop the memoized wire bytes, or WireBytes would report the
+// anchor-free container.
+func TestSetLogAnchorInvalidatesCache(t *testing.T) {
+	img := integImage()
+	w1, err := img.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.SetLogAnchor([]byte("abcd"))
+	w2, err := img.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(w1, w2) {
+		t.Fatal("Marshal after SetLogAnchor returned the stale cached wire")
+	}
+	img.SetLogAnchor([]byte("abcd")) // same value: no invalidation needed
+	w3, err := img.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w2, w3) {
+		t.Fatal("idempotent SetLogAnchor changed the wire")
+	}
+}

@@ -70,6 +70,13 @@ const (
 	// image opted in via SetContentDigests — FXC2 stays the default so
 	// cache-disabled runs are byte-identical to before.
 	marshalMagicV3 = "FXC3"
+	// marshalMagicV4 tags the anchored container revision: after the
+	// magic come a uvarint flags word (bit 0 = per-block content
+	// digests), a uvarint-length-prefixed record-log anchor (seglog wire
+	// form, self-checksummed), then the FXC2/FXC3 block layout. Produced
+	// only when the image carries a LogAnchor, so anchor-free images
+	// keep their exact legacy wire bytes.
+	marshalMagicV4 = "FXC4"
 	// marshalCoreBlockBytes is the raw gob bytes per parallel-compressed
 	// core block. Fixed (not GOMAXPROCS-derived) so the container bytes
 	// are machine-independent.
@@ -329,12 +336,24 @@ func (img *Image) marshalLocked() ([]byte, error) {
 	wg.Wait()
 	bufPool.Put(coreBuf) // coreRaw no longer referenced past this point
 
-	out := make([]byte, 0, 4+16)
+	out := make([]byte, 0, 4+16+len(img.LogAnchor))
 	magic := marshalMagic
 	if digests {
 		magic = marshalMagicV3
 	}
+	if len(img.LogAnchor) > 0 {
+		magic = marshalMagicV4
+	}
 	out = append(out, magic...)
+	if len(img.LogAnchor) > 0 {
+		var flags uint64
+		if digests {
+			flags |= 1
+		}
+		out = binary.AppendUvarint(out, flags)
+		out = binary.AppendUvarint(out, uint64(len(img.LogAnchor)))
+		out = append(out, img.LogAnchor...)
+	}
 	out = binary.AppendUvarint(out, uint64(nCoreBlocks))
 	out = binary.AppendUvarint(out, uint64(len(shards)))
 	for i := range slots {
@@ -381,17 +400,37 @@ var ErrDigest = errors.New("cria: image block content digest mismatch")
 // stream — are still accepted.
 func Unmarshal(data []byte) (*Image, error) {
 	var withCRC, withDigest bool
+	var anchor []byte
+	rest := data
 	switch {
+	case len(data) >= len(marshalMagicV4) && string(data[:len(marshalMagicV4)]) == marshalMagicV4:
+		withCRC = true
+		rest = data[len(marshalMagicV4):]
+		flags, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("cria: corrupt image header (anchor flags)")
+		}
+		rest = rest[n:]
+		withDigest = flags&1 != 0
+		alen, n := binary.Uvarint(rest)
+		if n <= 0 || alen > uint64(len(rest)-n) {
+			return nil, fmt.Errorf("cria: corrupt image header (anchor length)")
+		}
+		rest = rest[n:]
+		anchor = append([]byte(nil), rest[:alen]...)
+		rest = rest[alen:]
 	case len(data) >= len(marshalMagicV3) && string(data[:len(marshalMagicV3)]) == marshalMagicV3:
 		withCRC, withDigest = true, true
+		rest = data[len(marshalMagicV3):]
 	case len(data) >= len(marshalMagic) && string(data[:len(marshalMagic)]) == marshalMagic:
 		withCRC = true
+		rest = data[len(marshalMagic):]
 	case len(data) >= len(marshalMagicV1) && string(data[:len(marshalMagicV1)]) == marshalMagicV1:
 		withCRC = false
+		rest = data[len(marshalMagicV1):]
 	default:
 		return unmarshalLegacy(data)
 	}
-	rest := data[len(marshalMagic):]
 	nCore, n := binary.Uvarint(rest)
 	if n <= 0 {
 		return nil, fmt.Errorf("cria: corrupt image header (core block count)")
@@ -471,6 +510,7 @@ func Unmarshal(data []byte) (*Image, error) {
 		Ashmem:          core.Ashmem,
 		Runtime:         runtimeFromWire(core.Runtime),
 		RecordLog:       core.RecordLog,
+		LogAnchor:       anchor,
 		HomeVolumeSteps: core.HomeVolumeSteps,
 	}
 	for i := uint64(0); i < nShards; i++ {

@@ -3,9 +3,9 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
+	"flux/internal/atomicio"
 	"flux/internal/migration"
 )
 
@@ -80,11 +80,10 @@ func (r *Results) WriteFile(path string) error {
 		return fmt.Errorf("experiments: marshaling results: %w", err)
 	}
 	data = append(data, '\n')
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("experiments: writing results: %w", err)
 	}
-	return os.Rename(tmp, path)
+	return nil
 }
 
 // MatrixMetrics aggregates the evaluation matrix into its headline

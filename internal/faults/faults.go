@@ -50,11 +50,17 @@ const (
 	RestoreFail Site = "restore.fail"
 	// ReplayFail fails one adaptive-replay entry during reintegration.
 	ReplayFail Site = "replay.fail"
+	// LogTamper flips one bit in the record log after the image's
+	// per-block checksums were computed — modeling in-memory corruption
+	// or an adversarial relay that re-frames cleanly. Only the seglog
+	// anchor (Options.VerifyLog) catches it; detection must roll the
+	// migration back, never replay a wrong log.
+	LogTamper Site = "log.tamper"
 )
 
 // Sites lists every injection site in stable order.
 func Sites() []Site {
-	return []Site{LinkFlap, ChunkCorrupt, ChunkLoss, RestoreFail, ReplayFail}
+	return []Site{LinkFlap, ChunkCorrupt, ChunkLoss, RestoreFail, ReplayFail, LogTamper}
 }
 
 // ParseSite resolves a site name; ok is false for unknown names.

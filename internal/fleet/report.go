@@ -6,6 +6,8 @@ import (
 	"math"
 	"os"
 	"slices"
+
+	"flux/internal/atomicio"
 )
 
 // ReportSchemaVersion versions the fleet report JSON layout.
@@ -159,11 +161,10 @@ func (r *Report) WriteFile(path string) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("fleet: writing report: %w", err)
 	}
-	return os.Rename(tmp, path)
+	return nil
 }
 
 // LoadReport reads a previously written report.

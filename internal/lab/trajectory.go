@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"flux/internal/atomicio"
 )
 
 // TrajectorySchemaVersion versions the trajectory-file layout.
@@ -137,9 +139,8 @@ func WriteTrajectory(path string, recs []Record) error {
 	if err := enc.Encode(recs); err != nil {
 		return fmt.Errorf("lab: marshaling trajectory: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	if err := atomicio.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("lab: writing trajectory: %w", err)
 	}
-	return os.Rename(tmp, path)
+	return nil
 }

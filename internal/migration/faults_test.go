@@ -324,3 +324,54 @@ func TestFaultDeterminism(t *testing.T) {
 		t.Errorf("same seed diverged: %+v vs %+v", a.Timings, b.Timings)
 	}
 }
+
+// TestVerifyLogCleanRun: with anchor verification on and no faults, the
+// migration completes normally — the anchor rides in the image, the
+// guest verifies it, and replay proceeds.
+func TestVerifyLogCleanRun(t *testing.T) {
+	w := faultWorld(t)
+	rep, err := migrateWith(t, w, migration.Options{VerifyLog: true})
+	if err != nil {
+		t.Fatalf("verified migration failed: %v", err)
+	}
+	if rep.Outcome != migration.OutcomeOK || !rep.StateConsistent() {
+		t.Errorf("Outcome = %q, consistent = %v", rep.Outcome, rep.StateConsistent())
+	}
+}
+
+// TestRollbackOnLogTamper is the tentpole's end-to-end acceptance test:
+// a fault that flips one record-log bit AFTER the container CRC layer
+// (modeling in-memory corruption or a cleanly re-framed adversarial
+// mutation) is caught by anchor verification before anything replays,
+// and the migration rolls back to home — never a wrong replay.
+func TestRollbackOnLogTamper(t *testing.T) {
+	w := faultWorld(t)
+	inj := faults.New(21, faults.Plan{faults.LogTamper: {Probability: 1, Count: 1}})
+	rep, err := migrateWith(t, w, migration.Options{VerifyLog: true, Faults: inj})
+	assertRolledBackHome(t, w, rep, err)
+	if got := inj.Fired(faults.LogTamper); got != 1 {
+		t.Errorf("LogTamper fired %d times, want 1", got)
+	}
+	if !strings.Contains(err.Error(), "anchor") {
+		t.Errorf("rollback cause does not name anchor verification: %v", err)
+	}
+}
+
+// TestLogTamperWithoutVerifyLogIsInert: the tamper site is gated on
+// VerifyLog — without the anchor there is nothing to check against, so
+// the injector question is never asked and the decision stream of
+// existing fault plans is unchanged.
+func TestLogTamperWithoutVerifyLogIsInert(t *testing.T) {
+	w := faultWorld(t)
+	inj := faults.New(21, faults.Plan{faults.LogTamper: {Probability: 1}})
+	rep, err := migrateWith(t, w, migration.Options{Faults: inj})
+	if err != nil {
+		t.Fatalf("migration failed: %v", err)
+	}
+	if rep.Outcome != migration.OutcomeOK {
+		t.Errorf("Outcome = %q", rep.Outcome)
+	}
+	if got := inj.Fired(faults.LogTamper); got != 0 {
+		t.Errorf("LogTamper fired %d times without VerifyLog", got)
+	}
+}

@@ -225,6 +225,14 @@ type Options struct {
 	// reverse direction (with the stores' roles swapped) hits. Optional;
 	// ignored unless Cache is set.
 	SourceCache *chunkstore.Store
+	// VerifyLog embeds a seglog anchor over the record log in the
+	// checkpoint image (cria.Options.AnchorLog): the guest verifies the
+	// log against the anchor before restore proceeds and the replay
+	// engine re-verifies before issuing transactions. A mismatch rolls
+	// back to home — a wrong replay is never attempted. Off by default:
+	// anchor-free runs keep their exact wire bytes and timings
+	// (verification is modeled as free, like the CRC layer).
+	VerifyLog bool
 	// Faults injects deterministic faults into the pipeline (see
 	// internal/faults). Nil — the default — disables injection entirely:
 	// no recovery branches run and the migration is bit-identical to a
@@ -392,6 +400,7 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 			"ISensorEventConnection": true,
 		},
 		AllowMultiProcess: m.Opts.AllowMultiProcess,
+		AnchorLog:         m.Opts.VerifyLog,
 		SystemPIDs: map[int]bool{
 			0:                          true,
 			m.Home.System.Proc().PID(): true,
@@ -586,6 +595,13 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	if err != nil {
 		return nil, fmt.Errorf("migration: image did not survive transfer: %w", err)
 	}
+	if fr != nil && m.Opts.VerifyLog && len(img.RecordLog) > 0 && fr.inj.Should(faults.LogTamper) {
+		// Tamper with the log AFTER the container integrity layer was
+		// passed: a single flipped payload bit that re-frames cleanly.
+		// Only the anchor's hash chain can catch this.
+		img.RecordLog[len(img.RecordLog)/2] ^= 0x01
+		img.Invalidate()
+	}
 
 	// ---- Stage 4: Restore -----------------------------------------------
 	sp = span.Child(StageRestore.SpanName())
@@ -606,6 +622,13 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 	restored, err := cria.Restore(img, cria.RestoreOptions{Runtime: m.Guest.Runtime, Span: sp})
 	if err != nil {
 		sp.End()
+		if errors.Is(err, cria.ErrLogTampered) {
+			// Anchor verification caught a log that is not what the home
+			// device recorded. Nothing was stood up on the guest; roll
+			// back to the still-running home app rather than replay a
+			// wrong log.
+			return m.rollback(rep, app, nil, err)
+		}
 		return nil, err
 	}
 	var restoreDur time.Duration
@@ -647,6 +670,7 @@ func (m *Migrator) Migrate(pkg string) (rep *Report, err error) {
 		CheckpointTime:  img.CheckpointTime,
 		HomeVolumeSteps: img.HomeVolumeSteps,
 		NetworkFallback: m.Opts.NetworkFallback,
+		Anchor:          img.LogAnchor,
 		Span:            sp,
 	}
 	stats, err := m.engine.Replay(ctx, restored.Entries)

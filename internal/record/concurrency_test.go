@@ -242,3 +242,52 @@ func TestConcurrentPauseResumeAndRegister(t *testing.T) {
 		t.Errorf("recorded %d entries, want 100", got)
 	}
 }
+
+// TestSnapshotIsPointInTime pins the SaveFile consistency fix: a
+// Snapshot taken while appends are in flight must be a state the log
+// actually occupied. Because sequence numbers are issued by one global
+// counter, a consistent cut contains exactly the sequences 1..max with
+// no gaps; the old per-shard-at-a-time marshal could capture seq N
+// from one shard while missing seq N-1 still being appended to another.
+func TestSnapshotIsPointInTime(t *testing.T) {
+	l := NewLog()
+	const total = 4000
+	apps := []string{"snap.a", "snap.b", "snap.c"}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			l.Append(&Entry{App: apps[i%len(apps)], Interface: "I", Method: "m"})
+		}
+	}()
+	check := func(snap []*Entry) uint64 {
+		t.Helper()
+		seen := make(map[uint64]bool, len(snap))
+		var max uint64
+		for i, e := range snap {
+			if i > 0 && e.Seq <= snap[i-1].Seq {
+				t.Fatalf("snapshot not in sequence order at %d", i)
+			}
+			seen[e.Seq] = true
+			if e.Seq > max {
+				max = e.Seq
+			}
+		}
+		if uint64(len(seen)) != max {
+			t.Fatalf("snapshot has %d entries but max seq %d: not a point-in-time cut", len(seen), max)
+		}
+		return max
+	}
+	for {
+		check(l.Snapshot())
+		select {
+		case <-done:
+			// A snapshot taken after the appender is done sees everything.
+			if max := check(l.Snapshot()); max != total {
+				t.Fatalf("final snapshot has max seq %d, want %d", max, total)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -307,24 +307,79 @@ func (l *Log) MarshalApp(app string) []byte {
 	var buf []byte
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
 	for _, e := range entries {
-		buf = binary.BigEndian.AppendUint64(buf, e.Seq)
-		buf = binary.BigEndian.AppendUint32(buf, e.Code)
-		buf = binary.BigEndian.AppendUint32(buf, uint32(e.Handle))
-		buf = binary.BigEndian.AppendUint64(buf, uint64(e.At.UnixNano()))
-		for _, s := range []string{e.App, e.Service, e.Interface, e.Method} {
-			buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
-			buf = append(buf, s...)
-		}
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Data)))
-		buf = append(buf, e.Data...)
-		if e.Reply == nil {
-			buf = binary.BigEndian.AppendUint32(buf, ^uint32(0))
-		} else {
-			buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Reply)))
-			buf = append(buf, e.Reply...)
-		}
+		buf = appendEntryWire(buf, e)
 	}
 	return buf
+}
+
+// appendEntryWire appends one entry's wire record — the unit the
+// seglog hash chain covers and decodeEntry consumes.
+func appendEntryWire(buf []byte, e *Entry) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, e.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, e.Code)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(e.Handle))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.At.UnixNano()))
+	for _, s := range []string{e.App, e.Service, e.Interface, e.Method} {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Data)))
+	buf = append(buf, e.Data...)
+	if e.Reply == nil {
+		buf = binary.BigEndian.AppendUint32(buf, ^uint32(0))
+	} else {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Reply)))
+		buf = append(buf, e.Reply...)
+	}
+	return buf
+}
+
+// EntryWire serializes one entry in the wire form the anchor's hash
+// chain is computed over. The guest's replay engine re-serializes the
+// entries it is handed and verifies them against the image's anchor —
+// a defense-in-depth recomputation, so it must be byte-identical to
+// what MarshalApp / SaveFile produced on the home device.
+func EntryWire(e *Entry) []byte { return appendEntryWire(nil, e) }
+
+// Snapshot returns a copy of every live entry across all apps in
+// global sequence order, taken as a single point-in-time cut.
+//
+// Per-app extraction (AppEntries under one shard lock at a time) is
+// fine for migration — only the migrating app's slice matters — but a
+// whole-log save must not interleave with concurrent Appends, or the
+// saved file is a state the log never occupied (fatal once the file is
+// hash-chained: the anchor would commit to a torn cut). Holding
+// shardMu blocks new-shard creation, then taking every shard lock in
+// sorted order blocks in-flight appends; because sequence numbers are
+// assigned under shard locks, the captured sequence set is a
+// downward-closed prefix of the counter — a true point-in-time state.
+func (l *Log) Snapshot() []*Entry {
+	l.shardMu.Lock()
+	defer l.shardMu.Unlock()
+	shards := *l.shards.Load()
+	apps := make([]string, 0, len(shards))
+	for app := range shards {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		shards[app].mu.Lock()
+	}
+	var out []*Entry
+	for _, app := range apps {
+		for _, e := range shards[app].entries {
+			if e.dead {
+				continue
+			}
+			cp := *e
+			out = append(out, &cp)
+		}
+	}
+	for _, app := range apps {
+		shards[app].mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }
 
 // Apps lists the apps with live entries in the log, sorted. fluxvet's log

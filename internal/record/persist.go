@@ -1,50 +1,167 @@
 package record
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
+
+	"flux/internal/atomicio"
+	"flux/internal/seglog"
 )
 
 // This file gives the call log durable storage — the role SQLite plays in
-// the paper's prototype. The on-disk format is a checksummed container of
-// per-app slices in the MarshalApp wire format, so a device reboot (or a
-// fluxtrace -o / -i round trip) does not lose recorded state.
+// the paper's prototype. Format v2 persists the log as a seglog stream
+// (DESIGN.md §5j): one frame per entry in global sequence order, sealed
+// segments with Merkle roots, and a trailing anchor, so an on-disk log is
+// crash-recoverable (RecoverFile truncates a torn tail to the last
+// complete frame) and tamper-evident (LoadFile recomputes every hash).
+// The v1 whole-blob container is still readable; LoadFile dispatches on
+// the magic.
 
-// logFileMagic identifies a Flux record-log file.
+// AnchorWire builds a marshalled seglog anchor over a MarshalApp blob:
+// the per-entry wire records become chain leaves, the tail is sealed,
+// and the anchor (chain head + segment Merkle roots) covers every
+// entry. The home device calls this at checkpoint time; the anchor
+// rides in the CRIA image and VerifyAnchor checks the blob against it
+// on the guest.
+func AnchorWire(blob []byte) ([]byte, error) {
+	wires, err := SplitEntries(blob)
+	if err != nil {
+		return nil, err
+	}
+	sl := seglog.New(seglog.DefaultSegmentLeaves)
+	for _, w := range wires {
+		sl.Append(w)
+	}
+	sl.SealTail()
+	return sl.Anchor().Marshal(), nil
+}
+
+// VerifyAnchor checks that a MarshalApp blob is exactly the log an
+// anchor commits to — same entries, same bytes, same order, nothing
+// added or removed. Any single flipped bit fails.
+func VerifyAnchor(blob, anchorWire []byte) error {
+	wires, err := SplitEntries(blob)
+	if err != nil {
+		return err
+	}
+	return verifyWiresAnchor(wires, anchorWire)
+}
+
+// VerifyEntriesAnchor re-serializes already-decoded entries and checks
+// them against an anchor. The replay engine runs this as defense in
+// depth immediately before issuing transactions: whatever entries it
+// was handed must still be the anchored log.
+func VerifyEntriesAnchor(entries []*Entry, anchorWire []byte) error {
+	wires := make([][]byte, len(entries))
+	for i, e := range entries {
+		wires[i] = EntryWire(e)
+	}
+	return verifyWiresAnchor(wires, anchorWire)
+}
+
+func verifyWiresAnchor(wires [][]byte, anchorWire []byte) error {
+	a, err := seglog.ParseAnchor(anchorWire)
+	if err != nil {
+		return err
+	}
+	// Checkpoint anchors are cut over the sealed whole log, so the count
+	// must match exactly: entries appended after the anchor would be
+	// unverified and are refused.
+	if uint64(len(wires)) != a.Leaves {
+		return fmt.Errorf("%w: anchor covers %d entries, log has %d", seglog.ErrTampered, a.Leaves, len(wires))
+	}
+	return seglog.VerifyPayloads(wires, a)
+}
+
+// logFileMagic identifies a legacy (v1) Flux record-log file.
 var logFileMagic = [4]byte{'F', 'L', 'X', 'L'}
 
 const logFileVersion = 1
 
-// SaveFile writes the whole log (all apps) to path atomically.
+// SaveFile writes the whole log (all apps) to path atomically and
+// durably, as a seglog stream over a consistent point-in-time snapshot.
 func (l *Log) SaveFile(path string) error {
-	apps := l.appsWithEntries()
-	var buf []byte
-	buf = append(buf, logFileMagic[:]...)
-	buf = append(buf, logFileVersion)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(apps)))
-	for _, app := range apps {
-		blob := l.MarshalApp(app)
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(app)))
-		buf = append(buf, app...)
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(blob)))
-		buf = append(buf, blob...)
+	sl := seglog.New(seglog.DefaultSegmentLeaves)
+	for _, e := range l.Snapshot() {
+		sl.Append(EntryWire(e))
 	}
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o600); err != nil {
-		return fmt.Errorf("record: writing log file: %w", err)
-	}
-	return os.Rename(tmp, path)
+	sl.SealTail()
+	return atomicio.WriteFile(path, sl.Marshal(), 0o600)
 }
 
-// LoadFile reads a log file written by SaveFile into a fresh Log.
+// LoadFile reads a log file written by SaveFile into a fresh Log,
+// strictly: every CRC, hash-chain link, segment root, and anchor must
+// verify. Both the v2 seglog format and the legacy v1 container are
+// accepted.
 func LoadFile(path string) (*Log, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	if len(data) >= len(seglog.Magic) && string(data[:len(seglog.Magic)]) == seglog.Magic {
+		sl, err := seglog.Load(data, seglog.DefaultSegmentLeaves)
+		if err != nil {
+			return nil, fmt.Errorf("record: %w", err)
+		}
+		return logFromSeglog(sl)
+	}
+	return loadLegacy(data)
+}
+
+// RecoverFile reads a possibly crash-torn v2 log file tolerantly: a
+// torn tail is dropped and reported, semantic damage (tampering) still
+// errors. Legacy v1 files have no recovery story — any damage there is
+// a hard error, exactly the gap v2 closes.
+func RecoverFile(path string) (*Log, seglog.Recovery, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, seglog.Recovery{}, err
+	}
+	if len(data) >= len(seglog.Magic) && string(data[:len(seglog.Magic)]) == seglog.Magic {
+		sl, rec, err := seglog.Recover(data, seglog.DefaultSegmentLeaves)
+		if err != nil {
+			return nil, rec, fmt.Errorf("record: %w", err)
+		}
+		l, err := logFromSeglog(sl)
+		return l, rec, err
+	}
+	l, err := loadLegacy(data)
+	return l, seglog.Recovery{RetainedBytes: len(data), Leaves: l.lenOrZero()}, err
+}
+
+func (l *Log) lenOrZero() int {
+	if l == nil {
+		return 0
+	}
+	return l.Len()
+}
+
+// logFromSeglog rebuilds a Log from a decoded stream. Pruned leaves
+// (payload gone, hash retained) are skipped — their content was
+// @drop-compacted away while their place in the chain survives.
+func logFromSeglog(sl *seglog.Log) (*Log, error) {
+	l := NewLog()
+	for i, payload := range sl.Payloads() {
+		if payload == nil {
+			continue
+		}
+		e, consumed, err := decodeEntry(payload)
+		if err != nil {
+			return nil, fmt.Errorf("record: log entry %d: %w", i, err)
+		}
+		if consumed != len(payload) {
+			return nil, fmt.Errorf("record: log entry %d: %d trailing bytes", i, len(payload)-consumed)
+		}
+		l.Append(e)
+	}
+	return l, nil
+}
+
+// loadLegacy reads the v1 whole-blob container.
+func loadLegacy(data []byte) (*Log, error) {
 	if len(data) < 13 {
 		return nil, fmt.Errorf("record: log file too short: %d bytes", len(data))
 	}
@@ -52,7 +169,7 @@ func LoadFile(path string) (*Log, error) {
 	if crc32.ChecksumIEEE(body) != sum {
 		return nil, fmt.Errorf("record: log file checksum mismatch")
 	}
-	if [4]byte(body[:4]) != logFileMagic {
+	if !bytes.Equal(body[:4], logFileMagic[:]) {
 		return nil, fmt.Errorf("record: not a Flux log file")
 	}
 	if body[4] != logFileVersion {
@@ -67,7 +184,7 @@ func LoadFile(path string) (*Log, error) {
 		}
 		nameLen := binary.BigEndian.Uint32(body)
 		body = body[4:]
-		if uint32(len(body)) < nameLen {
+		if uint64(nameLen) > uint64(len(body)) {
 			return nil, fmt.Errorf("record: truncated app name")
 		}
 		body = body[nameLen:] // name is repeated inside each entry
@@ -76,7 +193,7 @@ func LoadFile(path string) (*Log, error) {
 		}
 		blobLen := binary.BigEndian.Uint32(body)
 		body = body[4:]
-		if uint32(len(body)) < blobLen {
+		if uint64(blobLen) > uint64(len(body)) {
 			return nil, fmt.Errorf("record: truncated app blob")
 		}
 		entries, err := UnmarshalEntries(body[:blobLen])

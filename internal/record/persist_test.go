@@ -1,6 +1,9 @@
 package record
 
 import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -89,6 +92,75 @@ func TestLoadFileRejectsJunk(t *testing.T) {
 	}
 }
 
+// TestLoadFileReadsLegacyV1 pins the migration story: files written by
+// the pre-seglog container must keep loading.
+func TestLoadFileReadsLegacyV1(t *testing.T) {
+	l := NewLog()
+	l.Append(sampleEntry("com.a", "set", 1))
+	l.Append(sampleEntry("com.b", "enqueueNotification", 2))
+	// Re-create the v1 container by hand (SaveFile now writes v2).
+	var buf []byte
+	buf = append(buf, logFileMagic[:]...)
+	buf = append(buf, logFileVersion)
+	apps := l.Apps()
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(apps)))
+	for _, app := range apps {
+		blob := l.MarshalApp(app)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(app)))
+		buf = append(buf, app...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	path := filepath.Join(t.TempDir(), "legacy.flxl")
+	if err := os.WriteFile(path, buf, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile(v1): %v", err)
+	}
+	if back.Len() != 2 {
+		t.Errorf("legacy load has %d entries, want 2", back.Len())
+	}
+}
+
+// TestRecoverFileHealsTornTail: a crash mid-write leaves a torn v2
+// file; RecoverFile must come back with a prefix, never an error.
+func TestRecoverFileHealsTornTail(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 12; i++ {
+		l.Append(sampleEntry("com.a", "set", i))
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "record.flxg")
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict load refuses the torn file; tolerant recovery heals it.
+	torn := filepath.Join(dir, "torn.flxg")
+	if err := os.WriteFile(torn, data[:len(data)-7], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(torn); err == nil {
+		t.Fatal("strict LoadFile accepted a torn file")
+	}
+	back, rec, err := RecoverFile(torn)
+	if err != nil {
+		t.Fatalf("RecoverFile: %v", err)
+	}
+	if !rec.Truncated {
+		t.Error("recovery did not report truncation")
+	}
+	if got := back.Len(); got == 0 || got > 12 {
+		t.Errorf("recovered %d entries", got)
+	}
+}
+
 func TestSaveFileEmptyLog(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "empty.flxl")
 	if err := NewLog().SaveFile(path); err != nil {
@@ -100,5 +172,85 @@ func TestSaveFileEmptyLog(t *testing.T) {
 	}
 	if back.Len() != 0 {
 		t.Errorf("empty round trip has %d entries", back.Len())
+	}
+}
+
+// TestAnchorVerifyRoundTrip: the home-side anchor over a MarshalApp
+// blob verifies the honest blob, and any single flipped payload bit —
+// or a re-decoded entry set — is caught.
+func TestAnchorVerifyRoundTrip(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 20; i++ {
+		l.Append(sampleEntry("com.a", "set", i))
+	}
+	blob := l.MarshalApp("com.a")
+	anchor, err := AnchorWire(blob)
+	if err != nil {
+		t.Fatalf("AnchorWire: %v", err)
+	}
+	if err := VerifyAnchor(blob, anchor); err != nil {
+		t.Fatalf("honest blob failed verification: %v", err)
+	}
+	// The decoded-entries path (what replay runs) verifies too — the
+	// EntryWire fixed point holds.
+	entries, err := UnmarshalEntries(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEntriesAnchor(entries, anchor); err != nil {
+		t.Fatalf("decoded entries failed verification: %v", err)
+	}
+	// One flipped bit anywhere in the blob body fails (or fails to
+	// parse — either way, never verifies clean).
+	for off := 4; off < len(blob); off += 7 {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0x01
+		if err := VerifyAnchor(mut, anchor); err == nil {
+			t.Fatalf("flipped bit at offset %d verified clean", off)
+		}
+	}
+	// Dropping the last entry fails the count check.
+	short := NewLog()
+	for _, e := range entries[:19] {
+		short.Append(e)
+	}
+	if err := VerifyEntriesAnchor(UnmarshalMust(t, short.MarshalApp("com.a")), anchor); err == nil {
+		t.Fatal("shortened log verified clean")
+	}
+}
+
+func UnmarshalMust(t *testing.T, blob []byte) []*Entry {
+	t.Helper()
+	es, err := UnmarshalEntries(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return es
+}
+
+// TestEntryWireFixedPoint: EntryWire(decode(w)) == w for entries with
+// nil, empty, and non-empty replies — the property anchor verification
+// on the guest depends on.
+func TestEntryWireFixedPoint(t *testing.T) {
+	cases := []*Entry{
+		sampleEntry("com.a", "m", 1), // nil reply
+		func() *Entry { e := sampleEntry("com.a", "m", 2); e.Reply = []byte{}; return e }(),     // empty reply
+		func() *Entry { e := sampleEntry("com.a", "m", 3); e.Reply = []byte{9, 8}; return e }(), // real reply
+	}
+	for i, e := range cases {
+		w := EntryWire(e)
+		back, consumed, err := decodeEntry(w)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if consumed != len(w) {
+			t.Fatalf("case %d: consumed %d of %d", i, consumed, len(w))
+		}
+		if got := EntryWire(back); !bytes.Equal(got, w) {
+			t.Fatalf("case %d: EntryWire not a fixed point", i)
+		}
+		if (e.Reply == nil) != (back.Reply == nil) {
+			t.Fatalf("case %d: reply nilness drifted", i)
+		}
 	}
 }

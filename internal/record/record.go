@@ -117,6 +117,11 @@ func (e *Entry) argValues(m *aidl.Method) map[string]string {
 	return e.args
 }
 
+// maxEntryPrealloc bounds the slice capacity hinted by an untrusted
+// entry count, so a forged header cannot drive a multi-gigabyte
+// allocation before the first decode failure.
+const maxEntryPrealloc = 1 << 16
+
 // UnmarshalEntries decodes a log slice serialized by MarshalApp.
 func UnmarshalEntries(data []byte) ([]*Entry, error) {
 	if len(data) < 4 {
@@ -124,71 +129,122 @@ func UnmarshalEntries(data []byte) ([]*Entry, error) {
 	}
 	n := binary.BigEndian.Uint32(data)
 	data = data[4:]
-	out := make([]*Entry, 0, n)
-	readStr := func() (string, error) {
-		if len(data) < 4 {
-			return "", fmt.Errorf("record: truncated string length")
-		}
-		l := binary.BigEndian.Uint32(data)
-		data = data[4:]
-		if uint32(len(data)) < l {
-			return "", fmt.Errorf("record: truncated string payload")
-		}
-		s := string(data[:l])
-		data = data[l:]
-		return s, nil
+	prealloc := int(n)
+	if prealloc > maxEntryPrealloc {
+		prealloc = maxEntryPrealloc
 	}
+	out := make([]*Entry, 0, prealloc)
 	for i := uint32(0); i < n; i++ {
-		if len(data) < 24 {
-			return nil, fmt.Errorf("record: truncated entry %d", i)
+		e, consumed, err := decodeEntry(data)
+		if err != nil {
+			return nil, fmt.Errorf("record: entry %d: %w", i, err)
 		}
-		e := &Entry{}
-		e.Seq = binary.BigEndian.Uint64(data)
-		e.Code = binary.BigEndian.Uint32(data[8:])
-		e.Handle = binder.Handle(int32(binary.BigEndian.Uint32(data[12:])))
-		e.At = time.Unix(0, int64(binary.BigEndian.Uint64(data[16:]))).UTC()
-		data = data[24:]
-		var err error
-		if e.App, err = readStr(); err != nil {
-			return nil, err
-		}
-		if e.Service, err = readStr(); err != nil {
-			return nil, err
-		}
-		if e.Interface, err = readStr(); err != nil {
-			return nil, err
-		}
-		if e.Method, err = readStr(); err != nil {
-			return nil, err
-		}
-		if len(data) < 4 {
-			return nil, fmt.Errorf("record: truncated entry %d payload length", i)
-		}
-		l := binary.BigEndian.Uint32(data)
-		data = data[4:]
-		if uint32(len(data)) < l {
-			return nil, fmt.Errorf("record: truncated entry %d payload", i)
-		}
-		e.Data = append([]byte(nil), data[:l]...)
-		data = data[l:]
-		if len(data) < 4 {
-			return nil, fmt.Errorf("record: truncated entry %d reply length", i)
-		}
-		rl := binary.BigEndian.Uint32(data)
-		data = data[4:]
-		if rl != ^uint32(0) {
-			if uint32(len(data)) < rl {
-				return nil, fmt.Errorf("record: truncated entry %d reply", i)
-			}
-			e.Reply = append([]byte(nil), data[:rl]...)
-			data = data[rl:]
-		}
+		data = data[consumed:]
 		out = append(out, e)
 	}
 	if len(data) != 0 {
 		return nil, fmt.Errorf("record: %d trailing bytes after log", len(data))
 	}
 	return out, nil
+}
+
+// SplitEntries slices a MarshalApp blob into its per-entry wire
+// records without copying. These per-entry slices are exactly the
+// payloads the seglog hash chain is computed over, so the home device
+// (building the anchor) and the guest (verifying before replay) frame
+// the log identically.
+func SplitEntries(data []byte) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("record: truncated log: %d bytes", len(data))
+	}
+	n := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	prealloc := int(n)
+	if prealloc > maxEntryPrealloc {
+		prealloc = maxEntryPrealloc
+	}
+	out := make([][]byte, 0, prealloc)
+	for i := uint32(0); i < n; i++ {
+		_, consumed, err := decodeEntry(data)
+		if err != nil {
+			return nil, fmt.Errorf("record: entry %d: %w", i, err)
+		}
+		out = append(out, data[:consumed])
+		data = data[consumed:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("record: %d trailing bytes after log", len(data))
+	}
+	return out, nil
+}
+
+// decodeEntry decodes one entry from the head of data, returning the
+// bytes consumed. All length guards compare in uint64 space: the old
+// `uint32(len(data)) < l` form wrapped for buffers ≥ 4 GiB and could
+// accept a short read.
+func decodeEntry(data []byte) (*Entry, int, error) {
+	const fixed = 24 // seq, code, handle, time
+	if len(data) < fixed {
+		return nil, 0, fmt.Errorf("record: truncated entry header")
+	}
+	e := &Entry{}
+	e.Seq = binary.BigEndian.Uint64(data)
+	e.Code = binary.BigEndian.Uint32(data[8:])
+	e.Handle = binder.Handle(int32(binary.BigEndian.Uint32(data[12:])))
+	e.At = time.Unix(0, int64(binary.BigEndian.Uint64(data[16:]))).UTC()
+	off := fixed
+	readStr := func() (string, error) {
+		if uint64(len(data))-uint64(off) < 4 {
+			return "", fmt.Errorf("record: truncated string length")
+		}
+		l := binary.BigEndian.Uint32(data[off:])
+		off += 4
+		if uint64(l) > uint64(len(data)-off) {
+			return "", fmt.Errorf("record: string declares %d bytes, %d remain", l, len(data)-off)
+		}
+		s := string(data[off : off+int(l)])
+		off += int(l)
+		return s, nil
+	}
+	var err error
+	if e.App, err = readStr(); err != nil {
+		return nil, 0, err
+	}
+	if e.Service, err = readStr(); err != nil {
+		return nil, 0, err
+	}
+	if e.Interface, err = readStr(); err != nil {
+		return nil, 0, err
+	}
+	if e.Method, err = readStr(); err != nil {
+		return nil, 0, err
+	}
+	if uint64(len(data))-uint64(off) < 4 {
+		return nil, 0, fmt.Errorf("record: truncated payload length")
+	}
+	l := binary.BigEndian.Uint32(data[off:])
+	off += 4
+	if uint64(l) > uint64(len(data)-off) {
+		return nil, 0, fmt.Errorf("record: payload declares %d bytes, %d remain", l, len(data)-off)
+	}
+	e.Data = append([]byte(nil), data[off:off+int(l)]...)
+	off += int(l)
+	if uint64(len(data))-uint64(off) < 4 {
+		return nil, 0, fmt.Errorf("record: truncated reply length")
+	}
+	rl := binary.BigEndian.Uint32(data[off:])
+	off += 4
+	if rl != ^uint32(0) {
+		if uint64(rl) > uint64(len(data)-off) {
+			return nil, 0, fmt.Errorf("record: reply declares %d bytes, %d remain", rl, len(data)-off)
+		}
+		// A zero-length reply decodes to a non-nil empty slice so the
+		// nil-means-oneway sentinel round-trips: EntryWire(decodeEntry(w))
+		// == w, which anchor verification on the guest depends on.
+		e.Reply = append(make([]byte, 0, rl), data[off:off+int(rl)]...)
+		off += int(rl)
+	}
+	return e, off, nil
 }
 
 // registeredInterface couples an interface with its compiled rules. The

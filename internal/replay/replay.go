@@ -77,6 +77,12 @@ type Context struct {
 	// NetworkFallback allows device access to continue over the network
 	// when the guest lacks the hardware (paper §3.2, Adaptive Replay).
 	NetworkFallback bool
+	// Anchor is the marshalled seglog anchor from the checkpoint image.
+	// When set, Replay re-serializes the entries it was handed and
+	// verifies them against it before issuing a single transaction —
+	// defense in depth behind cria.Restore's check, so a log mutated
+	// between restore and replay is still refused.
+	Anchor []byte
 	// Span optionally parents the replay's telemetry spans (the migration
 	// pipeline passes its reintegration stage span). Nil-safe.
 	Span *obs.Span
@@ -192,6 +198,11 @@ func (e *Engine) ProxyInfo(path string) (registered, needsReply bool) {
 // Replay re-applies a record log to the guest device in sequence order.
 func (e *Engine) Replay(ctx *Context, entries []*record.Entry) (Stats, error) {
 	var stats Stats
+	if len(ctx.Anchor) > 0 {
+		if err := record.VerifyEntriesAnchor(entries, ctx.Anchor); err != nil {
+			return stats, fmt.Errorf("replay: refusing unverified log: %w", err)
+		}
+	}
 	telemetry := obs.Enabled()
 	sp := ctx.Span.Child("replay.run", obs.Int64("entries", int64(len(entries))))
 	defer func() {

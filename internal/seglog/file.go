@@ -1,0 +1,151 @@
+package seglog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File is the durable form of a Log: an append-only seglog stream on
+// disk. Appends go straight to the file (frames are self-delimiting
+// and CRC-framed, so a crash mid-append tears at worst the final
+// frame); Open heals such tears by truncating to the last complete
+// frame. Not safe for concurrent use — wrap externally if shared.
+type File struct {
+	f   *os.File
+	log *Log
+}
+
+// Create starts a fresh seglog file at path (truncating any existing
+// file), writes the stream header, and syncs it.
+func Create(path string, segLeaves int) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("seglog: creating %s: %w", path, err)
+	}
+	if _, err := f.Write(appendHeader(nil)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seglog: writing header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seglog: syncing %s: %w", path, err)
+	}
+	return &File{f: f, log: New(segLeaves)}, nil
+}
+
+// Open reopens an existing seglog file with crash recovery: the stream
+// is decoded tolerantly, any torn tail is truncated off the file (and
+// the truncation synced), and appends resume after the last complete
+// frame. The Recovery reports what was dropped and how much of the
+// retained log the last anchor covers. Semantic damage — a CRC-valid
+// frame whose hashes lie — still fails: that is tampering, not a crash.
+func Open(path string, segLeaves int) (*File, Recovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("seglog: opening %s: %w", path, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, Recovery{}, fmt.Errorf("seglog: reading %s: %w", path, err)
+	}
+	log, rec, err := Recover(data, segLeaves)
+	if err != nil {
+		f.Close()
+		return nil, rec, err
+	}
+	if rec.Truncated {
+		if err := f.Truncate(int64(rec.RetainedBytes)); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("seglog: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("seglog: syncing %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(rec.RetainedBytes), 0); err != nil {
+		f.Close()
+		return nil, rec, fmt.Errorf("seglog: seeking %s: %w", path, err)
+	}
+	return &File{f: f, log: log}, rec, nil
+}
+
+// Log exposes the in-memory view (for proofs, payload access, anchors).
+func (sf *File) Log() *Log { return sf.log }
+
+// Append writes one entry frame (plus a seal frame when the append
+// closes a segment) and returns the leaf index. Durability is deferred
+// to Sync/Close — frames tolerate tearing by construction.
+func (sf *File) Append(payload []byte) (int, error) {
+	sf.log.mu.Lock()
+	sealsBefore := len(sf.log.seals)
+	idx := sf.log.appendLocked(payload)
+	var buf []byte
+	buf = appendFrame(buf, kindEntry, payload)
+	if len(sf.log.seals) > sealsBefore {
+		buf = appendFrame(buf, kindSeal, sealBody(sf.log.seals[len(sf.log.seals)-1]))
+	}
+	sf.log.mu.Unlock()
+	if _, err := sf.f.Write(buf); err != nil {
+		return idx, fmt.Errorf("seglog: appending entry: %w", err)
+	}
+	return idx, nil
+}
+
+// Seal closes the open segment and writes its seal frame (no-op when
+// the tail is empty).
+func (sf *File) Seal() error {
+	sf.log.mu.Lock()
+	sealsBefore := len(sf.log.seals)
+	sf.log.sealLocked()
+	var buf []byte
+	if len(sf.log.seals) > sealsBefore {
+		buf = appendFrame(nil, kindSeal, sealBody(sf.log.seals[len(sf.log.seals)-1]))
+	}
+	sf.log.mu.Unlock()
+	if buf == nil {
+		return nil
+	}
+	if _, err := sf.f.Write(buf); err != nil {
+		return fmt.Errorf("seglog: writing seal: %w", err)
+	}
+	return nil
+}
+
+// Anchor writes an anchor frame covering the sealed prefix, syncs the
+// file, and returns the anchor. Everything up to the anchor is durable
+// once Anchor returns — this is the "resume from last anchor" point.
+func (sf *File) Anchor() (Anchor, error) {
+	a := sf.log.Anchor()
+	if _, err := sf.f.Write(appendFrame(nil, kindAnchor, a.Marshal())); err != nil {
+		return a, fmt.Errorf("seglog: writing anchor: %w", err)
+	}
+	if err := sf.f.Sync(); err != nil {
+		return a, fmt.Errorf("seglog: syncing anchor: %w", err)
+	}
+	return a, nil
+}
+
+// Sync forces buffered appends to stable storage.
+func (sf *File) Sync() error { return sf.f.Sync() }
+
+// Close syncs and closes the file, then syncs the parent directory so
+// a freshly created log's directory entry is durable.
+func (sf *File) Close() error {
+	serr := sf.f.Sync()
+	name := sf.f.Name()
+	cerr := sf.f.Close()
+	if serr != nil {
+		return fmt.Errorf("seglog: syncing on close: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("seglog: closing: %w", cerr)
+	}
+	if d, err := os.Open(filepath.Dir(name)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -93,6 +93,7 @@ func DefaultSourceConfig(root string) SourceConfig {
 	}
 	sort.Strings(cfg.VirtualClockDirs)
 	cfg.DeterministicDirs = []string{
+		"internal/atomicio",
 		"internal/chunkstore",
 		"internal/experiments",
 		"internal/fleet",
@@ -100,6 +101,7 @@ func DefaultSourceConfig(root string) SourceConfig {
 		"internal/migration",
 		"internal/netsim",
 		"internal/obs",
+		"internal/seglog",
 		"internal/yamlite",
 	}
 	return cfg

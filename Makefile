@@ -37,12 +37,14 @@ verify: vet lint build test
 vet:
 	$(GO) vet ./...
 
-# Replay-safety static analysis (DESIGN.md §5f): decorator-spec checks
-# over the shipped AIDL catalog and the wallclock/maprange source
-# invariants. `fluxvet -logs run.flxl -image app.cria` lints a persisted
+# Replay-safety static analysis (DESIGN.md §5f, §5k): decorator-spec
+# checks over the shipped AIDL catalog plus the layer-3 pass driver's
+# parallel source analyses (wallclock, determinism-taint, maprange,
+# lock-order, durability, wire-drift), with per-pass wall time on
+# stderr. `fluxvet -logs run.flxl -image app.cria` lints a persisted
 # record log offline; see cmd/fluxvet.
 lint:
-	$(GO) run ./cmd/fluxvet -layers spec,src
+	$(GO) run ./cmd/fluxvet -layers spec,src -timings
 
 build:
 	$(GO) build ./...

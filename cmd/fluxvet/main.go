@@ -12,10 +12,18 @@
 //	        the same specs: prune/spec drift, unknown methods, sequence
 //	        disorder, and (with -image) Binder handles absent from the
 //	        CRIA image's handle table.
-//	src   — Go source passes over the repo (-src): wall-clock calls in
-//	        virtual-clock packages and map-iteration nondeterminism in
-//	        deterministic output paths. //fluxvet:allow comments suppress
-//	        intentional sites with a reason.
+//	src   — the pass driver over the Go source tree (-src): named
+//	        interprocedural analyses (DESIGN.md §5k) run in parallel over
+//	        a package graph loaded and type-checked once. The selectable
+//	        checks are wallclock and determinism-taint (wall-clock and
+//	        unseeded-rand nondeterminism, propagated through the call
+//	        graph via per-package facts), maprange (map-iteration order
+//	        leaks), lock-order (AB/BA mutex acquisition conflicts),
+//	        durability (discarded Write/Sync/Close errors and tmp+rename
+//	        outside atomicio), and wire-drift (magic/header/cap/faults.Site
+//	        drift across the codec packages). //fluxvet:allow comments
+//	        suppress intentional sites with a reason; stale or misspelled
+//	        directives become findings themselves.
 //
 // Usage:
 //
@@ -24,8 +32,12 @@
 //	fluxvet -logs run.flxl                # + lint a persisted record log
 //	fluxvet -logs run.flxl -image app.cria  # + replay-hazard handle checks
 //	fluxvet -src /path/to/repo            # explicit repo root for src layer
+//	fluxvet -only lock-order,durability   # restrict the src layer's checks
+//	fluxvet -format sarif                 # SARIF 2.1.0 for code-scanning UIs
+//	fluxvet -timings                      # per-pass wall time on stderr
 //
-// Exit status is 1 when any finding is reported, 2 on operational error.
+// Exit status is 1 when any finding is reported, 2 on a bad invocation or
+// operational error.
 package main
 
 import (
@@ -48,25 +60,19 @@ func main() {
 		imagePath  = flag.String("image", "", "CRIA image whose handle table gates replay-hazard checks (requires -logs)")
 		srcRoot    = flag.String("src", ".", "repository root for the src layer")
 		fullRecord = flag.Bool("fullrecord", false, "log was produced by the full-record ablation: skip unrecorded-entry checks")
+		formatFlag = flag.String("format", "text", "output format: text, json, sarif")
+		onlyFlag   = flag.String("only", "", "comma-separated src-layer checks to run exclusively")
+		skipFlag   = flag.String("skip", "", "comma-separated src-layer checks to skip")
+		timings    = flag.Bool("timings", false, "print per-pass wall time for the src layer to stderr")
 	)
 	flag.Parse()
-
-	layers := map[string]bool{}
-	for _, l := range strings.Split(*layersFlag, ",") {
-		l = strings.TrimSpace(l)
-		if l == "" {
-			continue
-		}
-		switch l {
-		case "spec", "logs", "src":
-			layers[l] = true
-		default:
-			fmt.Fprintf(os.Stderr, "fluxvet: unknown layer %q (spec, logs, src)\n", l)
-			os.Exit(2)
-		}
-	}
-	if *logsPath != "" {
-		layers["logs"] = true
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	opts, err := validateFlags(explicit, *layersFlag, *logsPath, *formatFlag, *onlyFlag, *skipFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluxvet:", err)
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	var findings []vet.Finding
@@ -75,35 +81,118 @@ func main() {
 		os.Exit(2)
 	}
 
-	if layers["spec"] {
+	if opts.layers["spec"] {
 		findings = append(findings, runSpec()...)
 	}
-	if layers["logs"] {
-		if *logsPath == "" {
-			fail(fmt.Errorf("the logs layer needs -logs <file.flxl>"))
-		}
+	if opts.layers["logs"] {
 		fs, err := runLogs(*logsPath, *imagePath, *fullRecord)
 		if err != nil {
 			fail(err)
 		}
 		findings = append(findings, fs...)
 	}
-	if layers["src"] {
-		fs, err := vet.RunSource(vet.DefaultSourceConfig(*srcRoot))
+	if opts.layers["src"] {
+		fs, passTimings, err := vet.RunSourceChecks(vet.DefaultSourceConfig(*srcRoot), opts.only, opts.skip)
 		if err != nil {
 			fail(err)
 		}
 		findings = append(findings, fs...)
+		if *timings {
+			for _, pt := range passTimings {
+				fmt.Fprintf(os.Stderr, "fluxvet: pass %-12s %8.3fs  %d package(s), %d finding(s)\n",
+					pt.Pass, pt.Wall.Seconds(), pt.Packages, pt.Findings)
+			}
+		}
 	}
 
 	vet.Sort(findings)
-	for _, f := range findings {
-		fmt.Println(f.String())
+	switch opts.format {
+	case "json":
+		os.Stdout.Write(vet.RenderJSON(findings))
+	case "sarif":
+		os.Stdout.Write(vet.RenderSARIF(findings))
+	default:
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "fluxvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// cliOptions is the validated invocation: which layers run, the output
+// format, and the src-layer check selection.
+type cliOptions struct {
+	layers map[string]bool
+	format string
+	only   []string
+	skip   []string
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// validateFlags checks the flag combination (set is populated by
+// flag.Visit) before anything runs, so a bad invocation fails fast with
+// usage instead of half-running or silently no-oping.
+func validateFlags(set map[string]bool, layersFlag, logsPath, format, only, skip string) (cliOptions, error) {
+	opts := cliOptions{layers: map[string]bool{}, format: format}
+	for _, l := range splitList(layersFlag) {
+		switch l {
+		case "spec", "logs", "src":
+			opts.layers[l] = true
+		default:
+			return opts, fmt.Errorf("unknown layer %q (spec, logs, src)", l)
+		}
+	}
+	if logsPath != "" {
+		opts.layers["logs"] = true
+	}
+	if opts.layers["logs"] && logsPath == "" {
+		return opts, fmt.Errorf("the logs layer needs -logs <file.flxl>")
+	}
+	if set["image"] && !opts.layers["logs"] {
+		return opts, fmt.Errorf("-image only applies with -logs")
+	}
+	if set["fullrecord"] && !opts.layers["logs"] {
+		return opts, fmt.Errorf("-fullrecord only applies with -logs")
+	}
+
+	switch format {
+	case "text", "json", "sarif":
+	default:
+		return opts, fmt.Errorf("unknown -format %q (text, json, sarif)", format)
+	}
+
+	opts.only, opts.skip = splitList(only), splitList(skip)
+	if len(opts.only) > 0 && len(opts.skip) > 0 {
+		return opts, fmt.Errorf("-only and -skip are mutually exclusive")
+	}
+	for _, scoped := range []string{"only", "skip", "timings"} {
+		if set[scoped] && !opts.layers["src"] {
+			return opts, fmt.Errorf("-%s only applies with the src layer", scoped)
+		}
+	}
+	known := map[string]bool{}
+	for _, c := range vet.SourceCheckNames() {
+		known[c] = true
+	}
+	for _, c := range append(append([]string(nil), opts.only...), opts.skip...) {
+		if !known[c] {
+			return opts, fmt.Errorf("unknown check %q (known: %s)", c, strings.Join(vet.SourceCheckNames(), ", "))
+		}
+	}
+	return opts, nil
 }
 
 // runSpec analyzes the shipped decorator specs with the shipped waiver

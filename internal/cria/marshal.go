@@ -60,7 +60,7 @@ const (
 	marshalMagic = "FXC2"
 	// marshalMagicV1 tags the checksum-less predecessor container;
 	// still decoded, never produced.
-	marshalMagicV1 = "FXC1"
+	marshalMagicV1 = "FXC1" //fluxvet:allow wire-drift — legacy decode-only format: Unmarshal accepts it, nothing encodes it anymore
 	// marshalMagicV3 tags the content-addressed container revision: each
 	// block carries, after its CRC32, a SHA-256 digest of the block's
 	// UNCOMPRESSED bytes. The digest is the block's content identity for

@@ -57,7 +57,6 @@ type CellStats struct {
 // sorted key=value tokens, space-joined.
 func cellID(params map[string]string) (string, []string) {
 	keys := make([]string, 0, len(params))
-	//fluxvet:allow maprange — keys are sorted immediately below
 	for k := range params {
 		keys = append(keys, k)
 	}

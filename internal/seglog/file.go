@@ -143,9 +143,13 @@ func (sf *File) Close() error {
 	if cerr != nil {
 		return fmt.Errorf("seglog: closing: %w", cerr)
 	}
-	if d, err := os.Open(filepath.Dir(name)); err == nil {
-		d.Sync()
-		d.Close()
+	d, err := os.Open(filepath.Dir(name))
+	if err != nil {
+		return fmt.Errorf("seglog: opening dir for sync: %w", err)
 	}
-	return nil
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("seglog: syncing dir: %w", err)
+	}
+	return d.Close()
 }

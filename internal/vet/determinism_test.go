@@ -1,0 +1,173 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTaintLocalHelperChain seeds the canonical taint shape: a helper
+// that reads the wall clock, called from a deterministic output path.
+// The wallclock check pins the source; determinism-taint pins the call
+// site with the witness chain.
+func TestTaintLocalHelperChain(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/experiments/r.go": `package experiments
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // the source
+}
+
+func Report() int64 {
+	return stamp() // the leak into the deterministic path
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{
+		Root:             root,
+		VirtualClockDirs: []string{"internal/experiments"},
+		TaintDirs:        []string{"internal/experiments"},
+	})
+	wall := findAll(fs, CheckWallClock)
+	if len(wall) != 1 || wall[0].Line != 6 || wall[0].Col != 9 {
+		t.Fatalf("want wallclock at r.go:6:9, got %v", fs)
+	}
+	taint := findAll(fs, CheckDeterminismTaint)
+	if len(taint) != 1 || taint[0].Line != 10 || taint[0].Col != 9 {
+		t.Fatalf("want determinism-taint at r.go:10:9, got %v", fs)
+	}
+	if !strings.Contains(taint[0].Message, "stamp → time.Now") {
+		t.Fatalf("witness chain missing from message: %s", taint[0].Message)
+	}
+}
+
+// TestTaintCrossPackage seeds taint across a package boundary: the
+// source lives in a package the deterministic one imports, so the
+// finding can only come from an exported fact. The dependency is
+// lexically AFTER its importer (zkernel > amigr), so the test also pins
+// the driver's topological unit order — a lexical order would visit
+// amigr first and see no fact.
+func TestTaintCrossPackage(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/zkernel/clock.go": `package zkernel
+
+import "time"
+
+// Stamp reads the host clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"internal/amigr/plan.go": `package amigr
+
+import "flux/internal/zkernel"
+
+func PlanID() int64 {
+	return zkernel.Stamp() // tainted via the imported fact
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{
+		Root:             root,
+		VirtualClockDirs: []string{"internal/zkernel", "internal/amigr"},
+		TaintDirs:        []string{"internal/amigr"},
+	})
+	taint := findAll(fs, CheckDeterminismTaint)
+	if len(taint) != 1 || !strings.HasSuffix(taint[0].File, "plan.go") ||
+		taint[0].Line != 6 || taint[0].Col != 9 {
+		t.Fatalf("want determinism-taint at plan.go:6:9, got %v", fs)
+	}
+	if !strings.Contains(taint[0].Message, "zkernel.Stamp") ||
+		!strings.Contains(taint[0].Message, "time.Now") {
+		t.Fatalf("cross-package witness missing: %s", taint[0].Message)
+	}
+}
+
+// TestTaintUnseededRand: package-level math/rand draws are flagged at
+// the exact position; a locally seeded *rand.Rand is deterministic and
+// stays clean.
+func TestTaintUnseededRand(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/netsim/jitter.go": `package netsim
+
+import "math/rand"
+
+func Jitter() int {
+	return rand.Intn(5) // global source: nondeterministic
+}
+
+func Seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(5)
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{
+		Root:             root,
+		VirtualClockDirs: []string{"internal/netsim"},
+		TaintDirs:        []string{"internal/netsim"},
+	})
+	taint := findAll(fs, CheckDeterminismTaint)
+	if len(taint) != 1 || taint[0].Line != 6 || taint[0].Col != 9 {
+		t.Fatalf("want exactly the global rand.Intn at jitter.go:6:9, got %v", fs)
+	}
+}
+
+// TestTaintAllowRoundTrip: annotating the leaking call site suppresses
+// the finding and the directive does not come back as stale.
+func TestTaintAllowRoundTrip(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/experiments/r.go": `package experiments
+
+import "time"
+
+//fluxvet:allow wallclock — fixture source
+func stamp() int64 { return time.Now().UnixNano() }
+
+func Report() int64 {
+	return stamp()
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{
+		Root:             root,
+		VirtualClockDirs: []string{"internal/experiments"},
+		TaintDirs:        []string{"internal/experiments"},
+	})
+	// The annotated source is declared intentional: it is suppressed AND
+	// it does not taint its callers, so the tree is fully clean — the
+	// directive must not be reported stale.
+	if len(fs) != 0 {
+		t.Fatalf("allowed source should suppress and not taint, got %v", fs)
+	}
+}
+
+// TestTaintAllowedCallSite: annotating the call site (not the source)
+// keeps the source finding but silences the taint finding.
+func TestTaintAllowedCallSite(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/experiments/r.go": `package experiments
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func Report() int64 {
+	return stamp() //fluxvet:allow determinism-taint — fixture call site
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{
+		Root:             root,
+		VirtualClockDirs: []string{"internal/experiments"},
+		TaintDirs:        []string{"internal/experiments"},
+	})
+	if got := findAll(fs, CheckDeterminismTaint); len(got) != 0 {
+		t.Fatalf("annotated call site should be suppressed, got %v", got)
+	}
+	if got := findAll(fs, CheckWallClock); len(got) != 1 {
+		t.Fatalf("the source itself still fires, got %v", fs)
+	}
+	if got := findAll(fs, CheckStaleAllow); len(got) != 0 {
+		t.Fatalf("directive was used; must not be stale: %v", got)
+	}
+}

@@ -1,0 +1,394 @@
+package vet
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The layer-3 pass driver: a miniature go/analysis multichecker built on
+// the standard library only.
+//
+// The driver loads and type-checks the union of every configured
+// directory scope exactly once, topologically sorts the resulting
+// package units along module-internal import edges, and then runs every
+// selected pass concurrently — one goroutine per pass, each visiting
+// the units in dependency order so a pass's per-package facts (taint
+// summaries, lock sets, magic registries) are always exported by an
+// imported package before an importer asks for them. Findings from all
+// passes merge, flow through the //fluxvet:allow directive filter (which
+// marks directives used), and gain the driver's own hygiene findings:
+// stale-allow for a directive that suppressed nothing and unknown-allow
+// for a directive naming a check that does not exist.
+
+// unit is one loaded package: the parse/type-check result plus its place
+// in the module's import graph.
+type unit struct {
+	// dir is the Root-relative package directory ("internal/record").
+	dir string
+	// path is the module import path ("flux/internal/record").
+	path string
+	pkg  *sourcePkg
+	// imports holds the module-internal import paths of the unit's files.
+	imports map[string]bool
+}
+
+// Facts is a per-pass store of exported per-package facts, keyed by
+// (package import path, object name). Each pass owns a private instance
+// and is the only goroutine touching it, so no locking is needed; the
+// topological unit order guarantees an importer sees its dependencies'
+// exports.
+type Facts struct {
+	m map[factKey]any
+}
+
+type factKey struct{ pkg, name string }
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts { return &Facts{m: map[factKey]any{}} }
+
+// Export records a fact for (pkg, name), overwriting any previous value.
+func (f *Facts) Export(pkg, name string, v any) { f.m[factKey{pkg, name}] = v }
+
+// Import retrieves the fact exported for (pkg, name).
+func (f *Facts) Import(pkg, name string) (any, bool) {
+	v, ok := f.m[factKey{pkg, name}]
+	return v, ok
+}
+
+// passCtx is what a pass sees: the loaded units in topological order,
+// its private fact store, and its reporting scope.
+type passCtx struct {
+	cfg   SourceConfig
+	units []*unit
+	facts *Facts
+	// scope is the set of dirs the pass reports findings in. Fact
+	// gathering may range wider (every loaded unit); report gates on it.
+	scope map[string]bool
+}
+
+// report says whether findings in u's directory should be emitted.
+func (pc *passCtx) report(u *unit) bool { return pc.scope[u.dir] }
+
+// passDef is one registered pass: a name, the checks it can emit, its
+// reporting scope, and the analysis body. run is called once per driver
+// invocation with every unit; interprocedural passes iterate the units
+// (already in dependency order), export facts as they go, and may do a
+// whole-program reconciliation at the end before returning findings.
+type passDef struct {
+	name   string
+	checks []string
+	scope  func(cfg SourceConfig) []string
+	run    func(pc *passCtx) []Finding
+}
+
+// passes is the driver's registry, in stable order.
+func passRegistry() []passDef {
+	return []passDef{
+		{
+			name:   "determinism",
+			checks: []string{CheckWallClock, CheckDeterminismTaint},
+			scope: func(cfg SourceConfig) []string {
+				return append(append([]string(nil), cfg.VirtualClockDirs...), cfg.TaintDirs...)
+			},
+			run: determinismPass,
+		},
+		{
+			name:   "maprange",
+			checks: []string{CheckMapRange},
+			scope:  func(cfg SourceConfig) []string { return cfg.DeterministicDirs },
+			run:    mapRangePass,
+		},
+		{
+			name:   "lockorder",
+			checks: []string{CheckLockOrder},
+			scope:  func(cfg SourceConfig) []string { return cfg.LockDirs },
+			run:    lockOrderPass,
+		},
+		{
+			name:   "durability",
+			checks: []string{CheckDurability},
+			scope:  func(cfg SourceConfig) []string { return cfg.DurabilityDirs },
+			run:    durabilityPass,
+		},
+		{
+			name:   "wiredrift",
+			checks: []string{CheckWireDrift},
+			scope:  func(cfg SourceConfig) []string { return cfg.WireDirs },
+			run:    wireDriftPass,
+		},
+	}
+}
+
+// PassTiming reports one pass's wall-clock cost over the whole package
+// graph (the `fluxvet -timings` / `make lint` summary).
+type PassTiming struct {
+	Pass     string
+	Wall     time.Duration
+	Packages int
+	Findings int
+}
+
+// RunSourceChecks runs the layer-3 driver with an optional check
+// selection: only restricts the run to the named checks, skip removes
+// checks from the full set (at most one of the two may be non-empty;
+// names must come from SourceCheckNames). It returns the merged,
+// waiver-filtered findings plus per-pass timings.
+func RunSourceChecks(cfg SourceConfig, only, skip []string) ([]Finding, []PassTiming, error) {
+	enabled, err := selectChecks(only, skip)
+	if err != nil {
+		return nil, nil, err
+	}
+	units, err := loadUnits(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	type passResult struct {
+		findings []Finding
+		timing   PassTiming
+	}
+	defs := passRegistry()
+	results := make([]passResult, len(defs))
+	var wg sync.WaitGroup
+	for i, def := range defs {
+		wants := false
+		for _, c := range def.checks {
+			wants = wants || enabled[c]
+		}
+		if !wants {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, def passDef) {
+			defer wg.Done()
+			scope := map[string]bool{}
+			for _, d := range def.scope(cfg) {
+				scope[d] = true
+			}
+			pc := &passCtx{cfg: cfg, units: units, facts: NewFacts(), scope: scope}
+			start := time.Now() //fluxvet:allow wallclock — per-pass timing telemetry for `fluxvet -timings`; never feeds an analysis
+			fs := def.run(pc)
+			results[i] = passResult{
+				findings: fs,
+				timing: PassTiming{
+					Pass: def.name, Wall: time.Since(start), //fluxvet:allow wallclock — pairs with the timing start above
+					Packages: len(units), Findings: len(fs),
+				},
+			}
+		}(i, def)
+	}
+	wg.Wait()
+
+	var raw []Finding
+	var timings []PassTiming
+	for i := range results {
+		if results[i].timing.Pass == "" {
+			continue
+		}
+		raw = append(raw, results[i].findings...)
+		timings = append(timings, results[i].timing)
+	}
+
+	out := filterAllows(units, raw, enabled)
+	Sort(out)
+	return out, timings, nil
+}
+
+// selectChecks resolves -only/-skip into the enabled check set.
+func selectChecks(only, skip []string) (map[string]bool, error) {
+	known := map[string]bool{}
+	for _, c := range SourceCheckNames() {
+		known[c] = true
+	}
+	if len(only) > 0 && len(skip) > 0 {
+		return nil, fmt.Errorf("vet: only and skip are mutually exclusive")
+	}
+	for _, c := range append(append([]string(nil), only...), skip...) {
+		if !known[c] {
+			return nil, fmt.Errorf("vet: unknown check %q (known: %s)", c, strings.Join(SourceCheckNames(), ", "))
+		}
+	}
+	enabled := map[string]bool{}
+	switch {
+	case len(only) > 0:
+		for _, c := range only {
+			enabled[c] = true
+		}
+	default:
+		for _, c := range SourceCheckNames() {
+			enabled[c] = true
+		}
+		for _, c := range skip {
+			delete(enabled, c)
+		}
+	}
+	return enabled, nil
+}
+
+// filterAllows suppresses findings covered by an allow directive (marking
+// the directive used), drops findings of disabled checks, and appends the
+// directive-hygiene findings: unknown-allow for directives naming a check
+// that does not exist, stale-allow for directives of enabled checks that
+// suppressed nothing this run.
+func filterAllows(units []*unit, raw []Finding, enabled map[string]bool) []Finding {
+	var out []Finding
+	byFile := map[string]*sourcePkg{}
+	for _, u := range units {
+		for file := range u.pkg.allowIdx {
+			byFile[file] = u.pkg
+		}
+	}
+	for _, f := range raw {
+		if !enabled[f.Check] {
+			continue
+		}
+		if p := byFile[f.File]; p != nil {
+			if d := p.allowFor(f.File, f.Line, f.Check); d != nil {
+				d.used = true
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	known := map[string]bool{}
+	for _, c := range SourceCheckNames() {
+		known[c] = true
+	}
+	for _, u := range units {
+		for _, d := range u.pkg.directives {
+			switch {
+			case !known[d.check]:
+				out = append(out, Finding{
+					Check: CheckUnknownAllow, Severity: Error,
+					File: d.file, Line: d.line,
+					Message: fmt.Sprintf("allow directive names unknown check %q (known: %s)",
+						d.check, strings.Join(SourceCheckNames(), ", ")),
+				})
+			case enabled[d.check] && !d.used:
+				out = append(out, Finding{
+					Check: CheckStaleAllow, Severity: Warn,
+					File: d.file, Line: d.line,
+					Message: fmt.Sprintf("allow directive for %q suppresses nothing; delete it", d.check),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// loadUnits parses and type-checks the union of every configured
+// directory scope exactly once and returns the units topologically
+// sorted along module-internal import edges (dependencies first, ties
+// broken by directory name so the order is deterministic).
+func loadUnits(cfg SourceConfig) ([]*unit, error) {
+	dirSet := map[string]bool{}
+	for _, list := range [][]string{
+		cfg.VirtualClockDirs, cfg.DeterministicDirs, cfg.TaintDirs,
+		cfg.LockDirs, cfg.DurabilityDirs, cfg.WireDirs,
+	} {
+		for _, d := range list {
+			dirSet[d] = true
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	module := modulePath(cfg.Root)
+	// One FileSet and one (source-resolving, cached) stdlib importer are
+	// shared across packages so the standard library is type-checked once.
+	fset := token.NewFileSet()
+	imp := newPermissiveImporter(fset)
+	var units []*unit
+	byPath := map[string]*unit{}
+	for _, dir := range dirs {
+		pkg, err := loadPackage(fset, imp, filepath.Join(cfg.Root, dir), cfg.IncludeTests)
+		if err != nil {
+			return nil, fmt.Errorf("vet: loading %s: %w", dir, err)
+		}
+		if pkg == nil {
+			continue // no Go files
+		}
+		u := &unit{
+			dir:     dir,
+			path:    module + "/" + filepath.ToSlash(dir),
+			pkg:     pkg,
+			imports: map[string]bool{},
+		}
+		for _, f := range pkg.files {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if strings.HasPrefix(path, module+"/") {
+					u.imports[path] = true
+				}
+			}
+		}
+		units = append(units, u)
+		byPath[u.path] = u
+	}
+
+	// Kahn's algorithm with a sorted ready set: dependencies first.
+	indeg := map[*unit]int{}
+	dependents := map[*unit][]*unit{}
+	for _, u := range units {
+		for imp := range u.imports {
+			if dep, ok := byPath[imp]; ok {
+				indeg[u]++
+				dependents[dep] = append(dependents[dep], u)
+			}
+		}
+	}
+	ready := make([]*unit, 0, len(units))
+	for _, u := range units {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	var sorted []*unit
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return ready[i].dir < ready[j].dir })
+		u := ready[0]
+		ready = ready[1:]
+		sorted = append(sorted, u)
+		for _, dep := range dependents[u] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+	}
+	if len(sorted) != len(units) {
+		// An import cycle (impossible in a compiling module) — fall back
+		// to lexical order rather than dropping packages.
+		sort.Slice(units, func(i, j int) bool { return units[i].dir < units[j].dir })
+		return units, nil
+	}
+	return sorted, nil
+}
+
+// modulePath reads the module directive from Root's go.mod, defaulting
+// to "flux" when the file is missing or malformed.
+func modulePath(root string) string {
+	f, err := os.Open(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "flux"
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return "flux"
+}

@@ -1,0 +1,98 @@
+package vet
+
+import (
+	"testing"
+)
+
+// TestDurabilitySeeded covers the three flagged shapes — discarded
+// Write/Sync, deferred Close, tmp+rename outside atomicio — at exact
+// positions, alongside the checked variants that must stay clean.
+func TestDurabilitySeeded(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/record/persist.go": `package record
+
+import "os"
+
+func sloppy(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	f.Write(b)
+	f.Sync()
+	return nil
+}
+
+func careful(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close() // best-effort cleanup on the error path: not flagged
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func swap(a, b string) error {
+	return os.Rename(a, b)
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{Root: root, DurabilityDirs: []string{"internal/record"}})
+	got := findAll(fs, CheckDurability)
+	if len(got) != 4 {
+		t.Fatalf("want defer-Close, Write, Sync, and Rename flagged, got %v", fs)
+	}
+	type at struct{ line, col int }
+	want := []at{{10, 8}, {11, 2}, {12, 2}, {33, 9}}
+	for i, w := range want {
+		if got[i].Line != w.line || got[i].Col != w.col {
+			t.Fatalf("finding %d at %d:%d, want %d:%d (%v)", i, got[i].Line, got[i].Col, w.line, w.col, got)
+		}
+	}
+}
+
+// TestDurabilityAtomicioExempt: package atomicio IS the blessed
+// tmp+rename implementation; its own os.Rename/os.WriteFile are fine.
+func TestDurabilityAtomicioExempt(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/atomicio/write.go": `package atomicio
+
+import "os"
+
+func commit(tmp, final string) error {
+	return os.Rename(tmp, final)
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{Root: root, DurabilityDirs: []string{"internal/atomicio"}})
+	if len(fs) != 0 {
+		t.Fatalf("atomicio's own rename is the implementation, got %v", fs)
+	}
+}
+
+// TestDurabilityAllowRoundTrip: the directive suppresses the finding and
+// is marked used.
+func TestDurabilityAllowRoundTrip(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/seglog/tmp.go": `package seglog
+
+import "os"
+
+func scratch(a, b string) {
+	os.Rename(a, b) //fluxvet:allow durability — fixture: scratch file, durability not required
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{Root: root, DurabilityDirs: []string{"internal/seglog"}})
+	if len(fs) != 0 {
+		t.Fatalf("annotated rename should suppress cleanly, got %v", fs)
+	}
+}

@@ -1,0 +1,165 @@
+package vet
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Machine-readable finding renderers for `fluxvet -format json|sarif`.
+// Both render from the same sorted finding slice, so a double render of
+// the same input is byte-identical — CI diffs and artifact uploads never
+// churn on map order. The JSON form is the tool's own stable schema; the
+// SARIF form is a minimal SARIF 2.1.0 document (one run, one rule per
+// distinct check) that code-scanning UIs ingest directly.
+
+// jsonFinding is the stable JSON wire form of one Finding.
+type jsonFinding struct {
+	Check     string `json:"check"`
+	Severity  string `json:"severity"`
+	File      string `json:"file,omitempty"`
+	Line      int    `json:"line,omitempty"`
+	Col       int    `json:"col,omitempty"`
+	Interface string `json:"interface,omitempty"`
+	Method    string `json:"method,omitempty"`
+	Message   string `json:"message"`
+}
+
+// RenderJSON renders findings as fluxvet's own JSON schema: a versioned
+// envelope with the finding count and the findings in input order (the
+// caller sorts). The output ends in a newline and is byte-stable for a
+// given input.
+func RenderJSON(fs []Finding) []byte {
+	doc := struct {
+		Version  int           `json:"version"`
+		Count    int           `json:"count"`
+		Findings []jsonFinding `json:"findings"`
+	}{Version: 1, Count: len(fs), Findings: []jsonFinding{}}
+	for _, f := range fs {
+		doc.Findings = append(doc.Findings, jsonFinding{
+			Check: f.Check, Severity: f.Severity.String(),
+			File: f.File, Line: f.Line, Col: f.Col,
+			Interface: f.Interface, Method: f.Method,
+			Message: f.Message,
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		// Finding holds only strings and ints; marshalling cannot fail.
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// SARIF 2.1.0 skeleton — only the fields code-scanning consumers read.
+type sarifDoc struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// RenderSARIF renders findings as a minimal SARIF 2.1.0 document: one
+// run, one rule per distinct check (sorted by id), one result per
+// finding in input order. Errors map to level "error", warnings to
+// "warning". Findings without a positive line carry no region (SARIF
+// requires startLine >= 1).
+func RenderSARIF(fs []Finding) []byte {
+	ruleSet := map[string]bool{}
+	for _, f := range fs {
+		ruleSet[f.Check] = true
+	}
+	ids := make([]string, 0, len(ruleSet))
+	for id := range ruleSet {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rules := make([]sarifRule, 0, len(ids))
+	for _, id := range ids {
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifText{Text: "fluxvet check " + id},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		level := "error"
+		if f.Severity == Warn {
+			level = "warning"
+		}
+		r := sarifResult{RuleID: f.Check, Level: level, Message: sarifText{Text: f.Message}}
+		if f.File != "" {
+			phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: f.File}}
+			if f.Line > 0 {
+				region := &sarifRegion{StartLine: f.Line}
+				if f.Col > 0 {
+					region.StartColumn = f.Col
+				}
+				phys.Region = region
+			}
+			r.Locations = []sarifLocation{{PhysicalLocation: phys}}
+		}
+		results = append(results, r)
+	}
+
+	doc := sarifDoc{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "fluxvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(out, '\n')
+}

@@ -1,0 +1,137 @@
+package vet
+
+// Golden-file tests for the machine-readable renderers: a fixed finding
+// slice renders byte-identically on every run and matches the goldens
+// committed under testdata/. Regenerate with:
+//
+//	go test ./internal/vet -run TestRender -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenFindings exercises every field combination the renderers handle:
+// positioned source findings, a column-less driver finding, a spec
+// finding with interface/method context and no line, and both severities.
+func goldenFindings() []Finding {
+	fs := []Finding{
+		{
+			Check: CheckWallClock, Severity: Error,
+			File: "internal/migration/engine.go", Line: 41, Col: 14,
+			Message: "time.Now in a virtual-clock package: route through kernel.Clock",
+		},
+		{
+			Check: CheckStaleAllow, Severity: Warn,
+			File: "internal/lab/stats.go", Line: 60,
+			Message: `allow directive for "maprange" suppresses nothing; delete it`,
+		},
+		{
+			Check: "dead-drop", Severity: Error,
+			File: "alarm", Line: 12, Col: 3,
+			Interface: "IAlarmManager", Method: "set",
+			Message: "@drop names a method that never records",
+		},
+		{
+			Check: "record-coverage", Severity: Warn,
+			Interface: "IAudioService", Method: "*",
+			Message: "state-mutating methods carry no @record",
+		},
+	}
+	Sort(fs)
+	return fs
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestRenderJSONGolden(t *testing.T) {
+	got := RenderJSON(goldenFindings())
+	if !json.Valid(got) {
+		t.Fatalf("RenderJSON produced invalid JSON:\n%s", got)
+	}
+	if again := RenderJSON(goldenFindings()); !bytes.Equal(got, again) {
+		t.Fatal("RenderJSON is not byte-stable across renders")
+	}
+	checkGolden(t, "findings.golden.json", got)
+}
+
+func TestRenderSARIFGolden(t *testing.T) {
+	got := RenderSARIF(goldenFindings())
+	if !json.Valid(got) {
+		t.Fatalf("RenderSARIF produced invalid JSON:\n%s", got)
+	}
+	if again := RenderSARIF(goldenFindings()); !bytes.Equal(got, again) {
+		t.Fatal("RenderSARIF is not byte-stable across renders")
+	}
+	checkGolden(t, "findings.golden.sarif", got)
+
+	// The document must carry one rule per distinct check, sorted, and
+	// one result per finding — spot-check the structure beyond the bytes.
+	var doc struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 1 || len(doc.Runs[0].Results) != len(goldenFindings()) {
+		t.Fatalf("want 1 run with %d results, got %+v", len(goldenFindings()), doc.Runs)
+	}
+	rules := doc.Runs[0].Tool.Driver.Rules
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].ID >= rules[i].ID {
+			t.Fatalf("rules not sorted: %v", rules)
+		}
+	}
+}
+
+func TestRenderJSONEmpty(t *testing.T) {
+	got := RenderJSON(nil)
+	if !json.Valid(got) {
+		t.Fatalf("invalid JSON for empty findings:\n%s", got)
+	}
+	var doc struct {
+		Count    int             `json:"count"`
+		Findings []jsonFinding   `json:"findings"`
+		Extra    json.RawMessage `json:"-"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 0 || doc.Findings == nil || len(doc.Findings) != 0 {
+		t.Fatalf("empty render should carry count 0 and an empty (not null) findings array: %s", got)
+	}
+}

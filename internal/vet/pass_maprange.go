@@ -1,0 +1,159 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The maprange pass flags bare map iteration in deterministic packages
+// unless the loop body is provably order-independent: Go randomizes map
+// order, so a map range feeding Report fields, metrics, or rendered
+// tables produces run-to-run diffs. Collection loops (append-only),
+// integer accumulation, and map-to-map transforms are order-independent
+// and allowed; everything else needs sorted keys or an explicit
+// `//fluxvet:allow maprange` comment.
+
+func mapRangePass(pc *passCtx) []Finding {
+	var out []Finding
+	for _, u := range pc.units {
+		if !pc.report(u) {
+			continue
+		}
+		p := u.pkg
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.info.Types[rng.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if orderIndependentBody(p, rng) {
+					return true
+				}
+				pos := p.fset.Position(rng.Pos())
+				out = append(out, Finding{
+					Check: CheckMapRange, Severity: Error,
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: fmt.Sprintf("bare map iteration in a deterministic path: collect and sort the keys, or annotate `%s maprange — <reason>`",
+						AllowDirective),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// orderIndependentBody reports whether every statement of the range body
+// is order-independent: appending to a slice (collect-then-sort idiom),
+// integer accumulation (+=, ++, --; float accumulation is NOT commutative
+// in IEEE754 and stays flagged), deleting from or storing into another
+// map, an integer counter assignment, or the membership-test idiom
+// `if cond { return <constants> }` — bailing out with the same constant
+// from whichever iteration trips the condition yields the same result in
+// any order.
+func orderIndependentBody(p *sourcePkg, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return true
+	}
+	for _, stmt := range rng.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !integerExpr(p, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !orderIndependentAssign(p, s) {
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete(m, k) is order-independent.
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "delete" {
+				return false
+			}
+		case *ast.IfStmt:
+			if !constantGuardReturn(s) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// constantGuardReturn matches `if cond { return <constant literals> }`
+// with no else and no init statement beyond the condition: an
+// early-return of constants is the same constant regardless of which
+// iteration triggers it.
+func constantGuardReturn(s *ast.IfStmt) bool {
+	if s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	ret, ok := s.Body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, r := range ret.Results {
+		switch e := r.(type) {
+		case *ast.BasicLit:
+		case *ast.Ident:
+			if e.Name != "true" && e.Name != "false" && e.Name != "nil" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func orderIndependentAssign(p *sourcePkg, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative only over integers; float addition is
+		// order-dependent (and string += builds order-dependent output).
+		return len(s.Lhs) == 1 && integerExpr(p, s.Lhs[0])
+	case token.ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		// x = append(x, ...) — the collect-then-sort idiom.
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+				return true
+			}
+		}
+		// m2[k] = v — building another map is order-independent.
+		if _, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+			if tv, ok := p.info.Types[s.Lhs[0].(*ast.IndexExpr).X]; ok && tv.Type != nil {
+				_, isMap := tv.Type.Underlying().(*types.Map)
+				return isMap
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func integerExpr(p *sourcePkg, e ast.Expr) bool {
+	tv, ok := p.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

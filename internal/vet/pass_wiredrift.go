@@ -1,0 +1,362 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The wire-drift pass reconciles the on-disk/on-wire format constants
+// across the codec packages (cria, seglog, record, migration, faults).
+// Formats drift when one side of an encoder/decoder pair is edited and
+// the other is not; each rule below catches one drift shape:
+//
+//   - a string literal shaped like a wire magic ("FXC1".."FXC9",
+//     "FLXA".."FLXZ") with no named const declaring it — an inline magic
+//     cannot be cross-referenced;
+//   - a declared magic referenced by fewer than two functions repo-wide —
+//     a healthy format has at least an encoder and a decoder touching the
+//     same const; one reference means the pair is broken (or the format
+//     is deliberately single-sided, which takes an allow);
+//   - a frame-header size const smaller than the package's magic — the
+//     header cannot contain the magic it claims to start with;
+//   - a length-guard cap const (max*Bytes/Size/Len/Prealloc) that is
+//     never compared against — a cap that guards nothing lets a corrupt
+//     length field drive an unbounded allocation;
+//   - faults.Site drift: a declared Site const missing from
+//     faults.Sites(), an injector callsite naming a site that Sites()
+//     does not return, or an ad-hoc faults.Site("...") literal matching
+//     no declared site — the CLI's site enumeration and the injector
+//     must agree.
+//
+// Magic declarations are exported as per-package facts, so a package
+// referencing seglog.Magic counts as a reference to seglog's declaration
+// without the pass re-reading seglog.
+
+var (
+	wireMagicRe = regexp.MustCompile(`^(FXC[0-9]|FLX[A-Z])$`)
+	wireCapRe   = regexp.MustCompile(`^max.*(Bytes|Prealloc|Size|Len)$`)
+)
+
+// magicFact is the exported per-package fact mapping a magic const's
+// name to its value, so cross-package selector references resolve.
+type magicFact string
+
+type wireMagicDecl struct {
+	value, name, pkg string
+	pos              token.Position
+}
+
+func wireDriftPass(pc *passCtx) []Finding {
+	type litUse struct {
+		value string
+		pos   token.Position
+	}
+	type crossRef struct {
+		path, name, fn string
+		pos            token.Position
+	}
+	type siteUse struct {
+		name string
+		pos  token.Position
+	}
+
+	decls := map[string][]wireMagicDecl{}  // magic value → declarations
+	refs := map[string]map[string]bool{}   // magic value → referencing funcs
+	var unknownLits []litUse               // magic-shaped literals with no decl
+	var crossRefs []crossRef               // pkg.Const selector references
+	capUsed := map[string]bool{}           // cap const name → compared?
+	var capDecls []wireMagicDecl           // cap consts (value unused)
+	var headerFindings []Finding           // header-vs-magic size mismatches
+	siteDecls := map[string]string{}       // faults.Site const name → value
+	sitePos := map[string]token.Position{} // site const name → decl position
+	siteListed := map[string]bool{}        // names returned by faults.Sites()
+	var siteRefs []siteUse                 // cross-package site const uses
+	var siteLits []litUse                  // ad-hoc faults.Site("...") literals
+
+	addRef := func(value, fn string) {
+		if refs[value] == nil {
+			refs[value] = map[string]bool{}
+		}
+		refs[value][fn] = true
+	}
+
+	for _, u := range pc.units {
+		if !pc.report(u) {
+			continue
+		}
+		p := u.pkg
+		isFaults := u.dir == "internal/faults"
+		localMagic := map[string]string{} // const name → magic value
+		declLits := map[*ast.BasicLit]bool{}
+		var localHeader *wireMagicDecl
+		headerVal := -1
+
+		// First sweep: const declarations.
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						pos := p.fset.Position(name.Pos())
+						var lit *ast.BasicLit
+						if i < len(vs.Values) {
+							if bl, ok := vs.Values[i].(*ast.BasicLit); ok && bl.Kind == token.STRING {
+								lit = bl
+							}
+						}
+						if lit != nil {
+							if v, err := strconv.Unquote(lit.Value); err == nil && wireMagicRe.MatchString(v) {
+								declLits[lit] = true
+								if tid, ok := vs.Type.(*ast.Ident); isFaults && ok && tid.Name == "Site" {
+									// a Site const that happens to look
+									// like a magic — treat as site only
+								} else {
+									d := wireMagicDecl{value: v, name: name.Name, pkg: p.name, pos: pos}
+									decls[v] = append(decls[v], d)
+									localMagic[name.Name] = v
+									pc.facts.Export(u.path, name.Name, magicFact(v))
+								}
+							}
+						}
+						if isFaults {
+							if tid, ok := vs.Type.(*ast.Ident); ok && tid.Name == "Site" && lit != nil {
+								if v, err := strconv.Unquote(lit.Value); err == nil {
+									siteDecls[name.Name] = v
+									sitePos[name.Name] = pos
+								}
+							}
+						}
+						if strings.EqualFold(name.Name, "headerSize") {
+							if c, ok := p.info.Defs[name].(*types.Const); ok {
+								if v, exact := constant.Int64Val(c.Val()); exact {
+									hv := int(v)
+									d := wireMagicDecl{name: name.Name, pkg: p.name, pos: pos}
+									localHeader, headerVal = &d, hv
+								}
+							}
+						}
+						if wireCapRe.MatchString(name.Name) {
+							capDecls = append(capDecls, wireMagicDecl{name: name.Name, pkg: p.name, pos: pos})
+						}
+					}
+				}
+			}
+		}
+
+		// Second sweep: references, per enclosing function.
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fn := p.name + ".(package)"
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					fn = p.name + "." + funcKey(fd)
+					if isFaults && fd.Name.Name == "Sites" && fd.Recv == nil {
+						ast.Inspect(fd.Body, func(n ast.Node) bool {
+							if id, ok := n.(*ast.Ident); ok {
+								if _, isSite := siteDecls[id.Name]; isSite {
+									siteListed[id.Name] = true
+								}
+							}
+							return true
+						})
+					}
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					switch e := n.(type) {
+					case *ast.BasicLit:
+						if e.Kind != token.STRING || declLits[e] {
+							return true
+						}
+						v, err := strconv.Unquote(e.Value)
+						if err != nil || !wireMagicRe.MatchString(v) {
+							return true
+						}
+						addRef(v, fn)
+						unknownLits = append(unknownLits, litUse{v, p.fset.Position(e.Pos())})
+					case *ast.Ident:
+						if v, ok := localMagic[e.Name]; ok {
+							if c, isConst := p.info.Uses[e].(*types.Const); isConst && c.Pkg() == p.typesPkg {
+								addRef(v, fn)
+							}
+						}
+					case *ast.SelectorExpr:
+						id, ok := e.X.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						pn, ok := p.info.Uses[id].(*types.PkgName)
+						if !ok {
+							return true
+						}
+						path := pn.Imported().Path()
+						if !u.imports[path] {
+							return true
+						}
+						crossRefs = append(crossRefs, crossRef{path, e.Sel.Name, fn, p.fset.Position(e.Sel.Pos())})
+						return false
+					case *ast.BinaryExpr:
+						switch e.Op {
+						case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+							for _, side := range []ast.Expr{e.X, e.Y} {
+								ast.Inspect(side, func(m ast.Node) bool {
+									if id, ok := m.(*ast.Ident); ok && wireCapRe.MatchString(id.Name) {
+										capUsed[id.Name] = true
+									}
+									return true
+								})
+							}
+						}
+					case *ast.CallExpr:
+						// faults.Site("...") ad-hoc literal conversion.
+						if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Site" && len(e.Args) == 1 {
+							if id, ok := sel.X.(*ast.Ident); ok {
+								if pn, ok := p.info.Uses[id].(*types.PkgName); ok &&
+									strings.HasSuffix(pn.Imported().Path(), "internal/faults") {
+									if bl, ok := e.Args[0].(*ast.BasicLit); ok && bl.Kind == token.STRING {
+										if v, err := strconv.Unquote(bl.Value); err == nil {
+											siteLits = append(siteLits, litUse{v, p.fset.Position(bl.Pos())})
+										}
+									}
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+
+		// Header-vs-magic reconciliation is package-local.
+		if localHeader != nil && headerVal >= 0 {
+			for _, v := range localMagic {
+				if headerVal < len(v) {
+					headerFindings = append(headerFindings, Finding{
+						Check: CheckWireDrift, Severity: Error,
+						File: localHeader.pos.Filename, Line: localHeader.pos.Line, Col: localHeader.pos.Column,
+						Message: fmt.Sprintf("frame header size %d is smaller than magic %q (%d bytes): the header cannot contain the magic it claims to start with",
+							headerVal, v, len(v)),
+					})
+				}
+			}
+		}
+	}
+
+	// Reconciliation: resolve cross-package references through facts.
+	faultsPathSuffix := "internal/faults"
+	for _, cr := range crossRefs {
+		if strings.HasSuffix(cr.path, faultsPathSuffix) {
+			if _, isSite := siteDecls[cr.name]; isSite {
+				siteRefs = append(siteRefs, siteUse{cr.name, cr.pos})
+			}
+			continue
+		}
+		if v, ok := pc.facts.Import(cr.path, cr.name); ok {
+			addRef(string(v.(magicFact)), cr.fn)
+		}
+		if wireCapRe.MatchString(cr.name) {
+			capUsed[cr.name] = true
+		}
+	}
+
+	var out []Finding
+	out = append(out, headerFindings...)
+
+	for _, l := range unknownLits {
+		if _, declared := decls[l.value]; declared {
+			continue
+		}
+		out = append(out, Finding{
+			Check: CheckWireDrift, Severity: Error,
+			File: l.pos.Filename, Line: l.pos.Line, Col: l.pos.Column,
+			Message: fmt.Sprintf("inline wire magic %q has no named const: name it beside its format's other constants so encoder and decoder share one definition, or annotate `%s wire-drift — <reason>`",
+				l.value, AllowDirective),
+		})
+	}
+
+	values := make([]string, 0, len(decls))
+	for v := range decls {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	for _, v := range values {
+		n := len(refs[v])
+		if n >= 2 {
+			continue
+		}
+		for _, d := range decls[v] {
+			out = append(out, Finding{
+				Check: CheckWireDrift, Severity: Error,
+				File: d.pos.Filename, Line: d.pos.Line, Col: d.pos.Column,
+				Message: fmt.Sprintf("wire magic %s = %q is referenced by %d function(s) repo-wide: an encoder/decoder pair should both touch it — if the format is deliberately single-sided, annotate `%s wire-drift — <reason>`",
+					d.name, v, n, AllowDirective),
+			})
+		}
+	}
+
+	for _, c := range capDecls {
+		if capUsed[c.name] {
+			continue
+		}
+		out = append(out, Finding{
+			Check: CheckWireDrift, Severity: Error,
+			File: c.pos.Filename, Line: c.pos.Line, Col: c.pos.Column,
+			Message: fmt.Sprintf("length-guard cap %s is never compared against: a cap that guards nothing lets a corrupt length field drive an unbounded allocation — use it on the decode path or annotate `%s wire-drift — <reason>`",
+				c.name, AllowDirective),
+		})
+	}
+
+	siteNames := make([]string, 0, len(siteDecls))
+	for n := range siteDecls {
+		siteNames = append(siteNames, n)
+	}
+	sort.Strings(siteNames)
+	siteValues := map[string]bool{}
+	for _, n := range siteNames {
+		siteValues[siteDecls[n]] = true
+		if !siteListed[n] {
+			pos := sitePos[n]
+			out = append(out, Finding{
+				Check: CheckWireDrift, Severity: Error,
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: fmt.Sprintf("faults.Site const %s is not returned by faults.Sites(): the CLI's site enumeration has drifted from the injector — add it to Sites() or annotate `%s wire-drift — <reason>`",
+					n, AllowDirective),
+			})
+		}
+	}
+	for _, r := range siteRefs {
+		if siteListed[r.name] {
+			continue
+		}
+		out = append(out, Finding{
+			Check: CheckWireDrift, Severity: Error,
+			File: r.pos.Filename, Line: r.pos.Line, Col: r.pos.Column,
+			Message: fmt.Sprintf("injector callsite uses faults.%s, which faults.Sites() does not return: experiments cannot enumerate this site — add it to Sites() or annotate `%s wire-drift — <reason>`",
+				r.name, AllowDirective),
+		})
+	}
+	for _, l := range siteLits {
+		if siteValues[l.value] {
+			continue
+		}
+		out = append(out, Finding{
+			Check: CheckWireDrift, Severity: Error,
+			File: l.pos.Filename, Line: l.pos.Line, Col: l.pos.Column,
+			Message: fmt.Sprintf("ad-hoc faults.Site(%q) matches no declared site: use the named const so the injector and Sites() agree, or annotate `%s wire-drift — <reason>`",
+				l.value, AllowDirective),
+		})
+	}
+	return out
+}

@@ -1,7 +1,6 @@
 package vet
 
 import (
-	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
@@ -10,66 +9,116 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 )
 
 // Layer 3 — Go source passes.
 //
-// A self-contained analysis harness over the standard library's go/ast +
-// go/types (the container bakes no golang.org/x/tools, so there is no
-// go/analysis multichecker to lean on; the pass shape below mirrors it
-// closely enough that migrating later is mechanical). Two passes enforce
-// repo-wide simulation invariants:
+// A self-contained go/analysis-style pass driver over the standard
+// library's go/ast + go/types (the container bakes no golang.org/x/tools,
+// so there is no multichecker to lean on; the driver shape mirrors it
+// closely enough that migrating later is mechanical). The repo's package
+// graph is loaded and type-checked exactly once, passes run in parallel
+// (one goroutine per pass, packages visited in import-dependency order so
+// per-package facts flow from imported packages to their importers), and
+// every diagnostic funnels through the same positioned Finding type and
+// the //fluxvet:allow waiver machinery. See driver.go for the scheduler
+// and pass registry; the individual analyses live in pass_*.go:
 //
-//	wallclock  — no wall-clock reads (time.Now, time.Sleep, time.Since,
-//	             timers/tickers) in virtual-clock packages. The entire
-//	             simulation advances on kernel.Clock; a stray time.Now
-//	             silently couples results to host speed. internal/obs
-//	             (wall-time spans by design) and internal/apps (real
-//	             throughput microbenches) are exempt; individual
-//	             intentional sites carry a `//fluxvet:allow wallclock`
-//	             comment with a reason.
-//	maprange   — no bare map iteration in deterministic output paths
-//	             (experiments, migration, netsim, obs): Go randomizes map
-//	             order, so a map range feeding Report fields, metrics, or
-//	             rendered tables produces run-to-run diffs. Collection
-//	             loops (append-only), integer accumulation, and
-//	             map-to-map transforms are order-independent and allowed;
-//	             everything else needs sorted keys or an explicit
-//	             `//fluxvet:allow maprange` comment.
+//	wallclock          — direct wall-clock reads (time.Now, time.Sleep,
+//	                     timers/tickers) in virtual-clock packages
+//	                     (pass_determinism.go).
+//	determinism-taint  — call-graph propagation of wall-clock / unseeded
+//	                     math/rand reach: a helper that transitively hits
+//	                     a nondeterminism source is flagged at every call
+//	                     site inside a deterministic output path, with
+//	                     facts crossing package boundaries
+//	                     (pass_determinism.go).
+//	maprange           — bare map iteration in deterministic output paths
+//	                     unless the loop body is provably
+//	                     order-independent (pass_maprange.go).
+//	lock-order         — conflicting mutex-acquisition orders across the
+//	                     lock-heavy packages; summaries of which locks a
+//	                     function takes propagate through the call graph
+//	                     (pass_lockorder.go).
+//	durability         — discarded Write/Sync errors and deferred Close
+//	                     on *os.File write paths, and tmp+rename
+//	                     sequences that bypass atomicio.WriteFile
+//	                     (pass_durability.go).
+//	wire-drift         — cross-package consistency of the wire magics
+//	                     (FXC1–FXC4, FLXG, FLXA), header sizes,
+//	                     length-guard caps, and faults.Site coverage
+//	                     (pass_wiredrift.go).
 //
 // Packages are type-checked one at a time with a permissive importer, so
-// the pass needs no network, no build cache, and no subprocess: map-ness
-// of package-local expressions (the realistic bug class) resolves exactly;
-// cross-package map-typed returns degrade to a syntactic miss, never a
-// false positive.
+// the passes need no network, no build cache, and no subprocess: map-ness
+// and receiver types of package-local expressions (the realistic bug
+// class) resolve exactly; cross-package types degrade to a syntactic
+// miss, never a false positive. Cross-package *semantic* knowledge —
+// taint, lock sets, magic registries — travels through the driver's
+// per-package fact store instead.
 
 // AllowDirective is the magic comment that suppresses a source finding on
 // its own line or the line directly above:
 //
 //	start := time.Now() //fluxvet:allow wallclock — measures real regen cost
+//
+// Only a comment that *begins* with the directive counts (mentions inside
+// prose, like the example above, do not). A directive whose check name is
+// unknown is an unknown-allow finding; a directive that suppresses
+// nothing is a stale-allow finding, so annotations cannot rot.
 const AllowDirective = "//fluxvet:allow"
 
-// wallClockDeny lists the time package selectors that read or depend on
-// the wall clock. Pure types/constructors (time.Duration, time.Unix,
-// time.Date, time.UnixMilli) are fine.
-var wallClockDeny = map[string]bool{
-	"Now": true, "Sleep": true, "Since": true, "Until": true,
-	"After": true, "AfterFunc": true, "Tick": true,
-	"NewTimer": true, "NewTicker": true,
+// Source-layer check names. Waivers and -only/-skip match on these.
+const (
+	CheckWallClock        = "wallclock"
+	CheckDeterminismTaint = "determinism-taint"
+	CheckMapRange         = "maprange"
+	CheckLockOrder        = "lock-order"
+	CheckDurability       = "durability"
+	CheckWireDrift        = "wire-drift"
+	// CheckStaleAllow and CheckUnknownAllow are emitted by the driver
+	// itself (directive hygiene); they are not selectable.
+	CheckStaleAllow   = "stale-allow"
+	CheckUnknownAllow = "unknown-allow"
+)
+
+// SourceCheckNames lists the selectable source checks in stable order.
+func SourceCheckNames() []string {
+	return []string{
+		CheckDeterminismTaint, CheckDurability, CheckLockOrder,
+		CheckMapRange, CheckWallClock, CheckWireDrift,
+	}
 }
 
-// SourceConfig parameterizes RunSource.
+// SourceConfig parameterizes RunSource. Each pass runs over (and reports
+// in) its own directory scope; the driver loads the union exactly once.
 type SourceConfig struct {
 	// Root is the repository root (the directory holding go.mod).
 	Root string
 	// VirtualClockDirs are Root-relative package directories in which the
-	// wallclock pass runs.
+	// wallclock check runs, and in which determinism-taint facts are
+	// gathered (packages outside the list — obs, apps — use the wall
+	// clock by design and never propagate taint).
 	VirtualClockDirs []string
 	// DeterministicDirs are Root-relative package directories in which
-	// the maprange pass runs.
+	// the maprange check runs.
 	DeterministicDirs []string
+	// TaintDirs are Root-relative package directories in which
+	// determinism-taint findings are reported: deterministic output
+	// paths whose helpers must not transitively reach a wall clock or
+	// unseeded rand. Typically the intersection of VirtualClockDirs and
+	// DeterministicDirs.
+	TaintDirs []string
+	// LockDirs are Root-relative package directories in which the
+	// lock-order check extracts mutex-acquisition orders.
+	LockDirs []string
+	// DurabilityDirs are Root-relative package directories in which the
+	// durability check runs.
+	DurabilityDirs []string
+	// WireDirs are Root-relative package directories in which the
+	// wire-drift check runs.
+	WireDirs []string
 	// IncludeTests also lints _test.go files (off by default: tests
 	// routinely use real timeouts).
 	IncludeTests bool
@@ -79,7 +128,10 @@ type SourceConfig struct {
 // internal package is on the virtual clock except obs (wall-time spans by
 // design) and apps (real-throughput microbenches); the deterministic
 // output paths are the evaluation driver, the migration pipeline, the
-// network simulator, and the telemetry exporters.
+// network simulator, and the telemetry exporters; the lock-order scope is
+// the sharded/locked hot paths; the durability scope is the three
+// packages that own fsync'd write paths; the wire scope is every package
+// that declares or consumes a wire magic or a fault site.
 func DefaultSourceConfig(root string) SourceConfig {
 	cfg := SourceConfig{Root: root}
 	exempt := map[string]bool{"obs": true, "apps": true}
@@ -104,65 +156,68 @@ func DefaultSourceConfig(root string) SourceConfig {
 		"internal/seglog",
 		"internal/yamlite",
 	}
-	return cfg
-}
-
-// RunSource runs the layer-3 passes and returns positioned findings.
-func RunSource(cfg SourceConfig) ([]Finding, error) {
-	var out []Finding
+	// Deterministic output paths that are also on the virtual clock:
+	// everything above except obs (wall-time telemetry by design).
 	wall := map[string]bool{}
 	for _, d := range cfg.VirtualClockDirs {
 		wall[d] = true
 	}
-	det := map[string]bool{}
 	for _, d := range cfg.DeterministicDirs {
-		det[d] = true
-	}
-	dirs := make([]string, 0, len(wall)+len(det))
-	for d := range wall {
-		dirs = append(dirs, d)
-	}
-	for d := range det {
-		if !wall[d] {
-			dirs = append(dirs, d)
+		if wall[d] {
+			cfg.TaintDirs = append(cfg.TaintDirs, d)
 		}
 	}
-	sort.Strings(dirs)
+	cfg.LockDirs = []string{
+		"internal/chunkstore",
+		"internal/obs",
+		"internal/record",
+		"internal/seglog",
+	}
+	cfg.DurabilityDirs = []string{
+		"internal/atomicio",
+		"internal/record",
+		"internal/seglog",
+	}
+	cfg.WireDirs = []string{
+		"internal/cria",
+		"internal/faults",
+		"internal/migration",
+		"internal/record",
+		"internal/seglog",
+	}
+	return cfg
+}
 
-	// One FileSet and one (source-resolving, cached) stdlib importer are
-	// shared across packages so the standard library is type-checked once.
-	fset := token.NewFileSet()
-	imp := permissiveImporter{
-		fallback: importer.ForCompiler(fset, "source", nil),
-		stubs:    map[string]*types.Package{},
-	}
-	for _, dir := range dirs {
-		pkg, err := loadPackage(fset, imp, filepath.Join(cfg.Root, dir), cfg.IncludeTests)
-		if err != nil {
-			return nil, fmt.Errorf("vet: loading %s: %w", dir, err)
-		}
-		if pkg == nil {
-			continue // no Go files
-		}
-		if wall[dir] {
-			out = append(out, wallClockPass(pkg)...)
-		}
-		if det[dir] {
-			out = append(out, mapRangePass(pkg)...)
-		}
-	}
-	Sort(out)
-	return out, nil
+// RunSource runs every layer-3 pass and returns positioned findings.
+// Back-compat façade over the driver; see RunSourceChecks for check
+// selection and per-pass timings.
+func RunSource(cfg SourceConfig) ([]Finding, error) {
+	fs, _, err := RunSourceChecks(cfg, nil, nil)
+	return fs, err
 }
 
 // sourcePkg is one parsed (and best-effort type-checked) package.
 type sourcePkg struct {
-	fset  *token.FileSet
-	files []*ast.File
-	info  *types.Info
-	// allowed maps file → set of lines carrying (or directly below) an
-	// allow directive, per check name.
-	allowed map[string]map[int]map[string]bool
+	fset     *token.FileSet
+	files    []*ast.File
+	info     *types.Info
+	typesPkg *types.Package // the checked package (for same-package object tests)
+	name     string         // package clause name
+	// directives are every allow directive in the package, in file
+	// order; allowIdx maps file → line → check → directive (a directive
+	// covers its own line and the line below).
+	directives []*allowDirective
+	allowIdx   map[string]map[int]map[string]*allowDirective
+}
+
+// allowDirective is one //fluxvet:allow comment. The driver marks it
+// used when it suppresses a finding; an unused directive for an enabled
+// check becomes a stale-allow finding.
+type allowDirective struct {
+	file  string
+	line  int
+	check string
+	used  bool
 }
 
 // loadPackage parses every Go file of one directory (non-recursive) and
@@ -175,7 +230,7 @@ func loadPackage(fset *token.FileSet, imp types.Importer, dir string, includeTes
 	if err != nil {
 		return nil, err
 	}
-	p := &sourcePkg{fset: fset, allowed: map[string]map[int]map[string]bool{}}
+	p := &sourcePkg{fset: fset, allowIdx: map[string]map[int]map[string]*allowDirective{}}
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") {
@@ -190,6 +245,7 @@ func loadPackage(fset *token.FileSet, imp types.Importer, dir string, includeTes
 			return nil, err
 		}
 		p.files = append(p.files, f)
+		p.name = f.Name.Name
 		p.indexAllows(path, f)
 	}
 	if len(p.files) == 0 {
@@ -205,7 +261,7 @@ func loadPackage(fset *token.FileSet, imp types.Importer, dir string, includeTes
 		Error:                    func(error) {}, // non-stdlib imports are stubs; errors expected
 		DisableUnusedImportCheck: true,
 	}
-	conf.Check(dir, fset, p.files, p.info) // error ignored: Info is still filled
+	p.typesPkg, _ = conf.Check(dir, fset, p.files, p.info) // error ignored: Info is still filled
 	return p, nil
 }
 
@@ -217,6 +273,13 @@ func loadPackage(fset *token.FileSet, imp types.Importer, dir string, includeTes
 type permissiveImporter struct {
 	fallback types.Importer
 	stubs    map[string]*types.Package
+}
+
+func newPermissiveImporter(fset *token.FileSet) permissiveImporter {
+	return permissiveImporter{
+		fallback: importer.ForCompiler(fset, "source", nil),
+		stubs:    map[string]*types.Package{},
+	}
 }
 
 func (p permissiveImporter) Import(path string) (*types.Package, error) {
@@ -239,19 +302,22 @@ func (p permissiveImporter) Import(path string) (*types.Package, error) {
 	return pkg, nil
 }
 
-// indexAllows records which (line, check) pairs an allow directive covers.
-// A directive covers its own line and the line below, so both trailing and
-// preceding comments work.
+// indexAllows records the package's allow directives. Only comments that
+// begin with the directive count — a mention inside prose or an example
+// does not — and each directive covers its own line and the line below,
+// so both trailing and preceding comment forms work.
 func (p *sourcePkg) indexAllows(path string, f *ast.File) {
-	lines := map[int]map[string]bool{}
+	lines := p.allowIdx[path]
+	if lines == nil {
+		lines = map[int]map[string]*allowDirective{}
+		p.allowIdx[path] = lines
+	}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text := c.Text
-			idx := strings.Index(text, AllowDirective)
-			if idx < 0 {
+			if !strings.HasPrefix(c.Text, AllowDirective) {
 				continue
 			}
-			rest := strings.TrimSpace(text[idx+len(AllowDirective):])
+			rest := strings.TrimSpace(c.Text[len(AllowDirective):])
 			check := rest
 			if i := strings.IndexAny(rest, " \t—"); i >= 0 {
 				check = rest[:i]
@@ -260,212 +326,27 @@ func (p *sourcePkg) indexAllows(path string, f *ast.File) {
 				continue
 			}
 			line := p.fset.Position(c.Pos()).Line
+			d := &allowDirective{file: path, line: line, check: check}
+			p.directives = append(p.directives, d)
 			for _, l := range []int{line, line + 1} {
 				if lines[l] == nil {
-					lines[l] = map[string]bool{}
+					lines[l] = map[string]*allowDirective{}
 				}
-				lines[l][check] = true
+				lines[l][check] = d
 			}
 		}
 	}
-	p.allowed[path] = lines
 }
 
+// isAllowed reports whether a directive covers (line, check) — without
+// marking it used. Passes consult it when an annotation changes the
+// analysis itself (an allowed wall-clock site does not taint its
+// callers); the driver does the authoritative suppress-and-mark.
 func (p *sourcePkg) isAllowed(pos token.Position, check string) bool {
-	return p.allowed[pos.Filename][pos.Line][check]
+	return p.allowIdx[pos.Filename][pos.Line][check] != nil
 }
 
-// wallClockPass flags wall-clock selector uses on the standard time
-// package inside virtual-clock packages.
-func wallClockPass(p *sourcePkg) []Finding {
-	var out []Finding
-	for _, f := range p.files {
-		timeNames := map[string]bool{}
-		for _, imp := range f.Imports {
-			path, _ := strconv.Unquote(imp.Path.Value)
-			if path != "time" {
-				continue
-			}
-			name := "time"
-			if imp.Name != nil {
-				name = imp.Name.Name
-			}
-			if name != "_" && name != "." {
-				timeNames[name] = true
-			}
-		}
-		if len(timeNames) == 0 {
-			continue
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok || !timeNames[id.Name] || !wallClockDeny[sel.Sel.Name] {
-				return true
-			}
-			// A local object named `time` shadows the import.
-			if obj, ok := p.info.Uses[id]; ok {
-				if _, isPkg := obj.(*types.PkgName); !isPkg {
-					return true
-				}
-			}
-			pos := p.fset.Position(sel.Pos())
-			if p.isAllowed(pos, "wallclock") {
-				return true
-			}
-			out = append(out, Finding{
-				Check: "wallclock", Severity: Error,
-				File: pos.Filename, Line: pos.Line, Col: pos.Column,
-				Message: fmt.Sprintf("time.%s in a virtual-clock package: route through kernel.Clock or annotate `%s wallclock — <reason>`",
-					sel.Sel.Name, AllowDirective),
-			})
-			return true
-		})
-	}
-	return out
-}
-
-// mapRangePass flags bare map iteration in deterministic packages unless
-// the loop body is provably order-independent.
-func mapRangePass(p *sourcePkg) []Finding {
-	var out []Finding
-	for _, f := range p.files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			rng, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
-			}
-			tv, ok := p.info.Types[rng.X]
-			if !ok || tv.Type == nil {
-				return true
-			}
-			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-				return true
-			}
-			if orderIndependentBody(p, rng) {
-				return true
-			}
-			pos := p.fset.Position(rng.Pos())
-			if p.isAllowed(pos, "maprange") {
-				return true
-			}
-			out = append(out, Finding{
-				Check: "maprange", Severity: Error,
-				File: pos.Filename, Line: pos.Line, Col: pos.Column,
-				Message: fmt.Sprintf("bare map iteration in a deterministic path: collect and sort the keys, or annotate `%s maprange — <reason>`",
-					AllowDirective),
-			})
-			return true
-		})
-	}
-	return out
-}
-
-// orderIndependentBody reports whether every statement of the range body
-// is order-independent: appending to a slice (collect-then-sort idiom),
-// integer accumulation (+=, ++, --; float accumulation is NOT commutative
-// in IEEE754 and stays flagged), deleting from or storing into another
-// map, an integer counter assignment, or the membership-test idiom
-// `if cond { return <constants> }` — bailing out with the same constant
-// from whichever iteration trips the condition yields the same result in
-// any order.
-func orderIndependentBody(p *sourcePkg, rng *ast.RangeStmt) bool {
-	if len(rng.Body.List) == 0 {
-		return true
-	}
-	for _, stmt := range rng.Body.List {
-		switch s := stmt.(type) {
-		case *ast.IncDecStmt:
-			if !integerExpr(p, s.X) {
-				return false
-			}
-		case *ast.AssignStmt:
-			if !orderIndependentAssign(p, s) {
-				return false
-			}
-		case *ast.ExprStmt:
-			// delete(m, k) is order-independent.
-			call, ok := s.X.(*ast.CallExpr)
-			if !ok {
-				return false
-			}
-			fn, ok := call.Fun.(*ast.Ident)
-			if !ok || fn.Name != "delete" {
-				return false
-			}
-		case *ast.IfStmt:
-			if !constantGuardReturn(s) {
-				return false
-			}
-		default:
-			return false
-		}
-	}
-	return true
-}
-
-// constantGuardReturn matches `if cond { return <constant literals> }`
-// with no else and no init statement beyond the condition: an
-// early-return of constants is the same constant regardless of which
-// iteration triggers it.
-func constantGuardReturn(s *ast.IfStmt) bool {
-	if s.Else != nil || len(s.Body.List) != 1 {
-		return false
-	}
-	ret, ok := s.Body.List[0].(*ast.ReturnStmt)
-	if !ok {
-		return false
-	}
-	for _, r := range ret.Results {
-		switch e := r.(type) {
-		case *ast.BasicLit:
-		case *ast.Ident:
-			if e.Name != "true" && e.Name != "false" && e.Name != "nil" {
-				return false
-			}
-		default:
-			return false
-		}
-	}
-	return true
-}
-
-func orderIndependentAssign(p *sourcePkg, s *ast.AssignStmt) bool {
-	switch s.Tok {
-	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
-		// Commutative only over integers; float addition is
-		// order-dependent (and string += builds order-dependent output).
-		return len(s.Lhs) == 1 && integerExpr(p, s.Lhs[0])
-	case token.ASSIGN:
-		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
-			return false
-		}
-		// x = append(x, ...) — the collect-then-sort idiom.
-		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
-			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
-				return true
-			}
-		}
-		// m2[k] = v — building another map is order-independent.
-		if _, ok := s.Lhs[0].(*ast.IndexExpr); ok {
-			if tv, ok := p.info.Types[s.Lhs[0].(*ast.IndexExpr).X]; ok && tv.Type != nil {
-				_, isMap := tv.Type.Underlying().(*types.Map)
-				return isMap
-			}
-		}
-		return false
-	}
-	return false
-}
-
-func integerExpr(p *sourcePkg, e ast.Expr) bool {
-	tv, ok := p.info.Types[e]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	basic, ok := tv.Type.Underlying().(*types.Basic)
-	return ok && basic.Info()&types.IsInteger != 0
+// allowFor returns the directive covering (line, check), if any.
+func (p *sourcePkg) allowFor(file string, line int, check string) *allowDirective {
+	return p.allowIdx[file][line][check]
 }

@@ -17,10 +17,15 @@
 //	                       reference model, replay-order handle hazards
 //	                       against a CRIA binder table, and log-shape
 //	                       invariants.
-//	Layer 3 (source.go)  — Go source passes over the repo enforcing
-//	                       simulation invariants: no wall-clock calls in
-//	                       virtual-clock packages, and no bare map
-//	                       iteration in deterministic output paths.
+//	Layer 3 (driver.go)  — an interprocedural pass driver over the Go
+//	                       source tree (stdlib-only go/analysis
+//	                       analogue): the package graph is loaded and
+//	                       type-checked once, topologically sorted, and
+//	                       named passes run in parallel exchanging
+//	                       per-package facts. Checks: wallclock,
+//	                       determinism-taint, maprange, lock-order,
+//	                       durability, wire-drift, plus stale-allow /
+//	                       unknown-allow directive hygiene.
 //
 // Findings are positioned (AIDL line:col for layer 1, file:line:col for
 // layer 3, app/seq for layer 2) and gate `make verify` and CI: any

@@ -1,0 +1,185 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWireDriftInlineMagic: a magic-shaped string literal with no named
+// const cannot be cross-referenced between encoder and decoder.
+func TestWireDriftInlineMagic(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/seglog/codec.go": `package seglog
+
+func decode(b []byte) bool {
+	return len(b) >= 4 && string(b[:4]) == "FLXQ"
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{Root: root, WireDirs: []string{"internal/seglog"}})
+	got := findAll(fs, CheckWireDrift)
+	if len(got) != 1 || got[0].Line != 4 || got[0].Col != 41 {
+		t.Fatalf("want inline-magic finding at codec.go:4:41, got %v", fs)
+	}
+	if !strings.Contains(got[0].Message, `"FLXQ"`) {
+		t.Fatalf("message should quote the magic: %s", got[0].Message)
+	}
+}
+
+// TestWireDriftSingleSided: a declared magic touched by only one
+// function means the encoder/decoder pair is broken; a healthy pair is
+// clean. The healthy pair's decoder lives in ANOTHER package and
+// references the const through its exported name, so the count can only
+// reach two via the pass's cross-package magic facts.
+func TestWireDriftSingleSided(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/seglog/codec.go": `package seglog
+
+const Magic = "FLXG"
+
+const orphanMagic = "FXC7"
+
+func Encode(b []byte) []byte {
+	return append([]byte(Magic), b...)
+}
+
+func decodeOld(b []byte) bool {
+	return string(b[:4]) == orphanMagic
+}
+`,
+		"internal/record/reader.go": `package record
+
+import "flux/internal/seglog"
+
+func validHeader(b []byte) bool {
+	return len(b) >= 4 && string(b[:4]) == seglog.Magic
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{Root: root, WireDirs: []string{"internal/record", "internal/seglog"}})
+	got := findAll(fs, CheckWireDrift)
+	if len(got) != 1 || got[0].Line != 5 || got[0].Col != 7 {
+		t.Fatalf("want only orphanMagic flagged at codec.go:5:7, got %v", fs)
+	}
+	if !strings.Contains(got[0].Message, "orphanMagic") {
+		t.Fatalf("message should name the const: %s", got[0].Message)
+	}
+}
+
+// TestWireDriftHeaderSmallerThanMagic: a frame header that cannot hold
+// its own magic is a codec bug by construction.
+func TestWireDriftHeaderSmallerThanMagic(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/seglog/frame.go": `package seglog
+
+const frameMagic = "FLXH"
+
+const headerSize = 3
+
+func encode(b []byte) []byte {
+	hdr := make([]byte, headerSize)
+	copy(hdr, frameMagic)
+	return append(hdr, b...)
+}
+
+func decode(b []byte) bool {
+	return len(b) >= headerSize && string(b[:4]) == frameMagic
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{Root: root, WireDirs: []string{"internal/seglog"}})
+	got := findAll(fs, CheckWireDrift)
+	if len(got) != 1 || got[0].Line != 5 || got[0].Col != 7 {
+		t.Fatalf("want header-size finding at frame.go:5:7, got %v", fs)
+	}
+	if !strings.Contains(got[0].Message, "header size 3") {
+		t.Fatalf("message should state the sizes: %s", got[0].Message)
+	}
+}
+
+// TestWireDriftUnusedCap: a length-guard cap that is never compared
+// guards nothing; comparing it anywhere clears the finding.
+func TestWireDriftUnusedCap(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/record/caps.go": `package record
+
+const maxEntryBytes = 1 << 20
+
+const maxBatchLen = 4096
+
+func admit(n int) bool {
+	return n <= maxBatchLen
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{Root: root, WireDirs: []string{"internal/record"}})
+	got := findAll(fs, CheckWireDrift)
+	if len(got) != 1 || got[0].Line != 3 || got[0].Col != 7 {
+		t.Fatalf("want only maxEntryBytes flagged at caps.go:3:7, got %v", fs)
+	}
+}
+
+// TestWireDriftFaultSites: every Site const must be enumerable through
+// Sites(), injector callsites must name enumerable sites, and ad-hoc
+// Site literals must match a declared site.
+func TestWireDriftFaultSites(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/faults/faults.go": `package faults
+
+type Site string
+
+const (
+	LinkFlap Site = "link.flap"
+	Orphan   Site = "orphan.fault"
+)
+
+func Sites() []Site { return []Site{LinkFlap} }
+`,
+		"internal/migration/inject.go": `package migration
+
+import "flux/internal/faults"
+
+type injector interface{ Should(faults.Site) bool }
+
+func hop(inj injector) {
+	inj.Should(faults.LinkFlap)
+	inj.Should(faults.Orphan)
+	inj.Should(faults.Site("bogus.fault"))
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{Root: root, WireDirs: []string{"internal/faults", "internal/migration"}})
+	got := findAll(fs, CheckWireDrift)
+	if len(got) != 3 {
+		t.Fatalf("want Orphan decl, Orphan use, and the bogus literal flagged, got %v", fs)
+	}
+	// Sorted by file: faults.go decl first, then the migration sites.
+	if !strings.Contains(got[0].Message, "Orphan") || got[0].Line != 7 {
+		t.Fatalf("want Orphan decl flagged at faults.go:7, got %v", got[0])
+	}
+	if got[1].Line != 9 || !strings.Contains(got[1].Message, "faults.Orphan") {
+		t.Fatalf("want injector callsite flagged at inject.go:9, got %v", got[1])
+	}
+	if got[2].Line != 10 || !strings.Contains(got[2].Message, "bogus.fault") {
+		t.Fatalf("want ad-hoc literal flagged at inject.go:10, got %v", got[2])
+	}
+}
+
+// TestWireDriftAllowRoundTrip: a deliberately single-sided format takes
+// an allow on its const and stays clean, with the directive marked used.
+func TestWireDriftAllowRoundTrip(t *testing.T) {
+	root := writeFixtureRepo(t, map[string]string{
+		"internal/cria/legacy.go": `package cria
+
+const legacyMagic = "FXC1" //fluxvet:allow wire-drift — fixture: decode-only legacy format
+
+func decode(b []byte) bool {
+	return string(b[:4]) == legacyMagic
+}
+`,
+	})
+	fs := runFixture(t, SourceConfig{Root: root, WireDirs: []string{"internal/cria"}})
+	if len(fs) != 0 {
+		t.Fatalf("annotated single-sided magic should be clean, got %v", fs)
+	}
+}

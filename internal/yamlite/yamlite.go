@@ -131,7 +131,6 @@ func parseScalar(s, errPrefix string, line int) (Value, error) {
 // iterate deterministically.
 func SortedKeys(m Map) []string {
 	keys := make([]string, 0, len(m))
-	//fluxvet:allow maprange — keys are sorted immediately below
 	for k := range m {
 		keys = append(keys, k)
 	}
